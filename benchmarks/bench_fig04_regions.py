@@ -1,0 +1,28 @@
+"""Figure 4 — effective Gaussian regions vs opacity.
+
+Paper shape: AABB and OBB are opacity-independent, while the alpha-governed
+effective region collapses for low-opacity Gaussians (opacity 0.01) and
+slightly exceeds the 3-sigma OBB for fully opaque ones.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_figure4_regions(benchmark, save_report):
+    rows = run_once(benchmark, experiments.figure4, opacities=(1.0, 0.5, 0.1, 0.01))
+    report = format_table(
+        ["opacity", "AABB px", "OBB px", "alpha px"],
+        [(r["opacity"], r["aabb"], r["obb"], r["alpha"]) for r in rows],
+        title="Figure 4 — single-Gaussian footprint vs opacity",
+    )
+    save_report("figure04_regions", report)
+
+    by_opacity = {r["opacity"]: r for r in rows}
+    assert by_opacity[1.0]["aabb"] == by_opacity[0.01]["aabb"]
+    assert by_opacity[1.0]["obb"] == by_opacity[0.01]["obb"]
+    assert by_opacity[0.01]["alpha"] < 0.5 * by_opacity[1.0]["alpha"]

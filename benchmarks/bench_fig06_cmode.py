@@ -1,0 +1,35 @@
+"""Figure 6 — Gaussian loading overhead vs Compatibility-Mode sub-view size.
+
+Paper shape: rendering invocations stay close to the number of rendered
+Gaussians for sub-views of 128x128 and larger, and grow steeply below 64x64.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_figure6_cmode_subviews(benchmark, save_report):
+    results = run_once(benchmark, experiments.figure6)
+    lines = []
+    for scene, rows in results.items():
+        lines.append(
+            format_table(
+                ["sub-view", "invocations", "rendered Gaussians", "duplication"],
+                [
+                    (r["subview"], r["rendering_invocations"], r["rendered_gaussians"], r["duplication"])
+                    for r in rows
+                ],
+                title=f"Figure 6 — {scene}",
+            )
+        )
+    save_report("figure06_cmode", "\n\n".join(lines))
+
+    for rows in results.values():
+        by_size = {r["subview"]: r for r in rows}
+        # Marginal overhead at 128 and above, steep growth at 16.
+        assert by_size[1024]["duplication"] <= by_size[128]["duplication"] * 1.5
+        assert by_size[16]["duplication"] > by_size[128]["duplication"]

@@ -1,0 +1,33 @@
+"""Figure 11 — ablation: Gaussian-wise rendering vs adding cross-stage CC.
+
+Paper shape: GW alone beats the baseline; adding CC improves it further,
+with the largest CC contribution on the sparse large scene (Drjohnson);
+DRAM traffic (3D / 2D / KV classes) shrinks substantially; rendering
+computations drop thanks to the alpha-based identifier.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+
+
+def test_figure11_ablation(benchmark, save_report):
+    rows = run_once(benchmark, experiments.figure11)
+    report = reporting.report_figure11(rows)
+    save_report("figure11_ablation", report)
+
+    for row in rows:
+        # GW+CC must not be slower than GW alone, and both beat the baseline
+        # on DRAM traffic.
+        assert row["speedup_gw_cc"] >= row["speedup_gw"] * 0.95
+        assert row["dram_gw"]["total"] <= row["dram_baseline"]["total"]
+        assert row["dram_gw_cc"]["total"] <= row["dram_gw"]["total"] * 1.001
+        # The baseline has key-value traffic, GCC does not.
+        assert row["dram_baseline"]["key_value"] > 0
+        assert row["dram_gw_cc"]["key_value"] == 0
+        # Alpha-based boundary identification keeps rendering computations at
+        # or below the baseline's (within block-granularity rounding: GCC
+        # evaluates whole 8x8 blocks, GSCore whole 8x8 subtiles).
+        assert row["render_ops_gcc"] <= row["render_ops_baseline"] * 1.15

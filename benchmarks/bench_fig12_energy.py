@@ -1,0 +1,29 @@
+"""Figure 12 — per-frame energy breakdown of GSCore and GCC.
+
+Paper shape: DRAM access dominates both designs; GCC cuts DRAM traffic by
+more than half, pays slightly more SRAM energy, and wins on total energy on
+every scene.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+
+
+def test_figure12_energy_breakdown(benchmark, save_report):
+    rows = run_once(benchmark, experiments.figure12)
+    report = reporting.report_figure12(rows)
+    save_report("figure12_energy", report)
+
+    scenes = {row["scene"] for row in rows}
+    for scene in scenes:
+        gscore = next(r for r in rows if r["scene"] == scene and r["accelerator"] == "GSCore")
+        gcc = next(r for r in rows if r["scene"] == scene and r["accelerator"] == "GCC")
+        # DRAM dominates the baseline's energy.
+        assert gscore["offchip_mj"] > gscore["onchip_mj"]
+        assert gscore["offchip_mj"] > gscore["compute_mj"]
+        # GCC cuts off-chip energy by more than half and wins in total.
+        assert gcc["offchip_mj"] < 0.5 * gscore["offchip_mj"]
+        assert gcc["total_mj"] < gscore["total_mj"]

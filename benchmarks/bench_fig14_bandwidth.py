@@ -1,0 +1,30 @@
+"""Figure 14 — throughput under different DRAM bandwidth levels (Train).
+
+Paper shape: both accelerators benefit from more bandwidth at the low end;
+beyond ~220 GB/s GCC is compute-bound and flat while GSCore keeps improving,
+because GCC moves far less data per frame.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+
+
+def test_figure14_dram_bandwidth(benchmark, save_report):
+    rows = run_once(benchmark, experiments.figure14)
+    report = reporting.report_figure14(rows)
+    save_report("figure14_bandwidth", report)
+
+    rows = sorted(rows, key=lambda r: r["bandwidth_gbps"])
+    gcc_fps = [r["gcc_fps"] for r in rows]
+    gscore_fps = [r["gscore_fps"] for r in rows]
+
+    # Monotone non-decreasing with bandwidth for both designs.
+    assert all(b >= a * 0.999 for a, b in zip(gcc_fps, gcc_fps[1:]))
+    assert all(b >= a * 0.999 for a, b in zip(gscore_fps, gscore_fps[1:]))
+    # GCC always ahead, and GCC saturates earlier (smaller relative gain from
+    # LPDDR4 to LPDDR6 than GSCore).
+    assert all(g > s for g, s in zip(gcc_fps, gscore_fps))
+    assert gcc_fps[-1] / gcc_fps[0] <= gscore_fps[-1] / gscore_fps[0] + 1e-9

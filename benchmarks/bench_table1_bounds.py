@@ -1,0 +1,23 @@
+"""Table 1 — rendered pixels per frame under AABB / OBB / actual blending.
+
+Paper shape: AABB > OBB by ~3x, and the pixels actually blended are another
+5-10x below the bounding-box footprints.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+
+
+def test_table1_bounding_methods(benchmark, save_report):
+    rows = run_once(benchmark, experiments.table1)
+    report = reporting.report_table1(rows)
+    save_report("table1_bounds", report)
+
+    for row in rows:
+        assert row["aabb_pixels"] > row["obb_pixels"]
+        assert row["obb_pixels"] >= row["alpha_pixels"]
+        # Actual rendering touches far fewer pixels than the AABB footprint.
+        assert row["rendered_pixels"] < row["aabb_pixels"] * 0.8

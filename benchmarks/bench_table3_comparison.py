@@ -1,0 +1,28 @@
+"""Table 3 — comparison with other neural-rendering accelerators (Lego).
+
+Paper shape: 3DGS accelerators (GSCore, GCC) deliver far higher
+area-normalised throughput than NeRF accelerators and GPUs, and GCC more
+than doubles GSCore's FPS/mm^2.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+
+
+def test_table3_accelerator_comparison(benchmark, save_report):
+    rows = run_once(benchmark, experiments.table3)
+    report = reporting.report_table3(rows)
+    save_report("table3_comparison", report)
+
+    by_design = {row["design"]: row for row in rows}
+    gcc = next(row for name, row in by_design.items() if "GCC" in name)
+    gscore = next(row for name, row in by_design.items() if "GSCore" in name)
+    metavrain = by_design["MetaVRain (ISSCC'23)"]
+    a6000 = by_design["NVIDIA A6000"]
+
+    assert gcc["fps_per_mm2"] > gscore["fps_per_mm2"] > metavrain["fps_per_mm2"]
+    assert gcc["fps_per_mm2"] > a6000["fps_per_mm2"]
+    assert gcc["area_mm2"] < gscore["area_mm2"]

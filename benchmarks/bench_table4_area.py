@@ -1,0 +1,28 @@
+"""Table 4 — area and power breakdown of GCC (published silicon numbers).
+
+This is a static table in the reproduction (we cannot re-synthesise the RTL
+offline); the benchmark checks internal consistency and renders it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+
+
+def test_table4_area_power(benchmark, save_report):
+    rows = run_once(benchmark, experiments.table4)
+    report = reporting.report_table4(rows)
+    save_report("table4_area", report)
+
+    by_component = {row["component"]: row for row in rows}
+    compute_total = by_component["Compute Total"]["area_mm2"]
+    buffer_total = by_component["Buffer Total"]["area_mm2"]
+    gcc_total = by_component["GCC Total"]["area_mm2"]
+    gscore_total = by_component["GSCore Total"]["area_mm2"]
+
+    assert compute_total + buffer_total == pytest.approx(gcc_total, abs=0.01)
+    assert gcc_total < gscore_total
+    assert by_component["GCC Total"]["power_mw"] < by_component["GSCore Total"]["power_mw"]

@@ -1,0 +1,43 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at the default
+evaluation scale, times it with ``pytest-benchmark`` (single round — these
+are experiment drivers, not micro-benchmarks) and writes the formatted result
+to ``benchmarks/results/`` so the numbers can be compared against the paper
+(see EXPERIMENTS.md).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where formatted experiment outputs are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    """Return a helper that writes one experiment's text report to disk."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

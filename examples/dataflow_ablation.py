@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Dataflow ablation: baseline vs Gaussian-wise vs Gaussian-wise + CC.
+
+Reproduces the structure of Figure 11 on one scene, stepping through the
+three designs and reporting where the cycles, DRAM bytes and alpha
+computations go.  Useful as a template for studying new dataflow variants.
+
+Run with::
+
+    python examples/dataflow_ablation.py [--scene drjohnson]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.arch import GccAccelerator, GccConfig, GScoreAccelerator
+from repro.gaussians.synthetic import make_camera, make_scene
+
+
+def describe(report, baseline=None) -> str:
+    """One-line summary of a simulation report, optionally vs a baseline."""
+    line = (
+        f"{report.total_cycles:12,.0f} cycles | "
+        f"DRAM {report.dram_traffic.total / 1e6:7.2f} MB "
+        f"(3D {report.dram_traffic.gaussian_3d / 1e6:6.2f}, "
+        f"2D {report.dram_traffic.gaussian_2d / 1e6:6.2f}, "
+        f"KV {report.dram_traffic.key_value / 1e6:6.2f}) | "
+        f"{report.energy_mj_per_frame:6.3f} mJ"
+    )
+    if baseline is not None:
+        line += f" | {baseline.fps_per_mm2 and report.fps_per_mm2 / baseline.fps_per_mm2:5.2f}x area-norm speedup"
+    return line
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scene", default="drjohnson")
+    parser.add_argument("--scale", type=float, default=0.004)
+    parser.add_argument("--image-scale", type=float, default=0.12)
+    args = parser.parse_args()
+
+    scene = make_scene(args.scene, scale=args.scale)
+    camera = make_camera(args.scene, image_scale=args.image_scale)
+    print(f"Scene {args.scene}: {scene.num_gaussians} Gaussians, {camera.width}x{camera.height}\n")
+
+    print("Baseline (GSCore: two-stage, tile-wise):")
+    baseline = GScoreAccelerator().simulate(scene, camera)
+    print("  " + describe(baseline))
+    print(f"  stage split: { {k: round(v) for k, v in baseline.stage_cycles.items() if k in ('preprocess', 'sort', 'render')} }")
+
+    print("\nGW only (Gaussian-wise rendering, no cross-stage conditions):")
+    gw_only = GccAccelerator(GccConfig(enable_cc=False)).simulate(scene, camera)
+    print("  " + describe(gw_only, baseline))
+
+    print("\nGW + CC (full GCC):")
+    gcc = GccAccelerator().simulate(scene, camera)
+    print("  " + describe(gcc, baseline))
+    print(f"  stage split: { {k: round(v) for k, v in gcc.stage_cycles.items() if k not in ('pipeline', 'dram_stream')} }")
+
+    print("\nRendering computations (alpha evaluations):")
+    print(f"  baseline : {baseline.extra['alpha_evaluations']:12,.0f}")
+    print(f"  GCC      : {gcc.extra['alpha_evaluations']:12,.0f}")
+
+    print("\nCross-stage conditional processing skipped "
+          f"{gcc.extra['num_projected'] - gcc.extra['num_sh_evaluated']:.0f} SH evaluations "
+          "that the baseline performs unconditionally.")
+
+
+if __name__ == "__main__":
+    main()

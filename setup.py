@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` uses this legacy path when PEP 660 editable builds are
+unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Reproduction of *GCC: A 3DGS Inference Architecture with Gaussian-Wise and
+Cross-Stage Conditional Processing* (MICRO 2025).
+
+The package is organised in four layers:
+
+* :mod:`repro.gaussians` — the 3D Gaussian Splatting substrate (scenes,
+  cameras, spherical harmonics, covariance projection, synthetic benchmark
+  scenes).
+* :mod:`repro.render` / :mod:`repro.dataflow` — functionally-correct
+  renderers for the standard (tile-wise) dataflow and the paper's
+  Gaussian-wise, cross-stage-conditional dataflow, plus the alpha-based
+  boundary identification algorithm.
+* :mod:`repro.arch` — cycle-level models of the GCC accelerator, the GSCore
+  baseline, and GPU platforms, with DRAM/SRAM/energy accounting.
+* :mod:`repro.eval` — the experiment harness reproducing every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.gaussians import make_scene
+    from repro.gaussians.synthetic import make_camera
+    from repro.render import render_gaussianwise
+    from repro.arch import GccAccelerator
+
+    scene = make_scene("lego", scale=0.02)
+    camera = make_camera("lego", image_scale=0.2)
+    frame = render_gaussianwise(scene, camera)
+    report = GccAccelerator().simulate(scene, camera, render_result=frame)
+    print(report.fps, report.energy_mj_per_frame)
+"""
+
+from repro.arch import GccAccelerator, GccConfig, GScoreAccelerator, GScoreConfig
+from repro.gaussians import Camera, GaussianScene, make_scene
+from repro.render import RenderConfig, render_gaussianwise, render_tilewise
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Camera",
+    "GaussianScene",
+    "GccAccelerator",
+    "GccConfig",
+    "GScoreAccelerator",
+    "GScoreConfig",
+    "RenderConfig",
+    "__version__",
+    "make_scene",
+    "render_gaussianwise",
+    "render_tilewise",
+]

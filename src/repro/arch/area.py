@@ -1,0 +1,149 @@
+"""Published area and power breakdowns (Table 4 of the paper).
+
+The paper implements GCC in SystemVerilog and synthesises it with a
+commercial 28 nm library; the resulting module-level area/power are published
+in Table 4, alongside GSCore's totals.  We reproduce that table verbatim here
+and use the totals for area-normalised throughput/energy (Figures 10 and 13
+and Table 3), because those silicon numbers cannot be regenerated without the
+proprietary toolchain — see DESIGN.md for the substitution note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModuleArea:
+    """Area/power/configuration of one hardware module."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+    configuration: str
+
+
+#: GCC compute-unit breakdown (Table 4, upper half).
+GCC_COMPUTE_MODULES: tuple[ModuleArea, ...] = (
+    ModuleArea("RCA", 0.010, 2.0, "4 units"),
+    ModuleArea("Projection Unit", 0.358, 147.0, "2 units"),
+    ModuleArea("SH Unit", 0.339, 141.0, "1 units"),
+    ModuleArea("Sorting Unit", 0.010, 11.0, "1 units"),
+    ModuleArea("Alpha Unit", 0.576, 266.0, "64 PEs"),
+    ModuleArea("Blending Unit", 0.382, 172.0, "64 PEs"),
+)
+
+#: GCC on-chip buffer breakdown (Table 4, lower half).
+GCC_BUFFER_MODULES: tuple[ModuleArea, ...] = (
+    ModuleArea("Shared Buffer", 0.019, 3.0, "2 x 1 x 6 KB"),
+    ModuleArea("SH Buffer", 0.116, 10.0, "2 x 3 x 8 KB"),
+    ModuleArea("Sorted Buffer", 0.029, 1.0, "2 x 1 x 1 KB"),
+    ModuleArea("Image Buffer", 0.872, 37.0, "1 x 4 x 32 KB"),
+)
+
+#: GCC totals (Table 4).
+GCC_TOTAL_AREA_MM2 = 2.711
+GCC_TOTAL_POWER_MW = 790.0
+GCC_COMPUTE_AREA_MM2 = 1.675
+GCC_COMPUTE_POWER_MW = 739.0
+GCC_BUFFER_AREA_MM2 = 1.036
+GCC_BUFFER_POWER_MW = 51.0
+GCC_SRAM_KB = 190
+
+#: GSCore totals (Table 4 / Table 3).
+GSCORE_TOTAL_AREA_MM2 = 3.95
+GSCORE_TOTAL_POWER_MW = 870.0
+GSCORE_COMPUTE_AREA_MM2 = 2.70
+GSCORE_COMPUTE_POWER_MW = 830.0
+GSCORE_BUFFER_AREA_MM2 = 1.25
+GSCORE_BUFFER_POWER_MW = 40.0
+GSCORE_SRAM_KB = 272
+
+
+def gcc_area_table() -> list[dict[str, object]]:
+    """Return Table 4 (GCC breakdown + GSCore totals) as a list of rows."""
+    rows: list[dict[str, object]] = []
+    for module in GCC_COMPUTE_MODULES:
+        rows.append(
+            {
+                "component": module.name,
+                "area_mm2": module.area_mm2,
+                "power_mw": module.power_mw,
+                "configuration": module.configuration,
+                "kind": "compute",
+            }
+        )
+    rows.append(
+        {
+            "component": "Compute Total",
+            "area_mm2": GCC_COMPUTE_AREA_MM2,
+            "power_mw": GCC_COMPUTE_POWER_MW,
+            "configuration": "-",
+            "kind": "compute",
+        }
+    )
+    for module in GCC_BUFFER_MODULES:
+        rows.append(
+            {
+                "component": module.name,
+                "area_mm2": module.area_mm2,
+                "power_mw": module.power_mw,
+                "configuration": module.configuration,
+                "kind": "buffer",
+            }
+        )
+    rows.append(
+        {
+            "component": "Buffer Total",
+            "area_mm2": GCC_BUFFER_AREA_MM2,
+            "power_mw": GCC_BUFFER_POWER_MW,
+            "configuration": f"{GCC_SRAM_KB} KB",
+            "kind": "buffer",
+        }
+    )
+    rows.append(
+        {
+            "component": "GCC Total",
+            "area_mm2": GCC_TOTAL_AREA_MM2,
+            "power_mw": GCC_TOTAL_POWER_MW,
+            "configuration": "-",
+            "kind": "total",
+        }
+    )
+    rows.append(
+        {
+            "component": "GSCore Total",
+            "area_mm2": GSCORE_TOTAL_AREA_MM2,
+            "power_mw": GSCORE_TOTAL_POWER_MW,
+            "configuration": f"{GSCORE_SRAM_KB} KB",
+            "kind": "total",
+        }
+    )
+    return rows
+
+
+def scaled_image_buffer_area(capacity_bytes: int) -> float:
+    """Estimate Image Buffer area (mm^2) for a different capacity.
+
+    Used by the design-space exploration of Figure 13(a): SRAM area scales
+    roughly linearly with capacity at fixed banking, anchored to the paper's
+    128 KB / 0.872 mm^2 point.
+    """
+    reference_bytes = 128 * 1024
+    reference_area = 0.872
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    return reference_area * capacity_bytes / reference_bytes
+
+
+def scaled_alpha_blend_area(array_size: int) -> float:
+    """Estimate combined Alpha+Blending Unit area for an ``n x n`` PE array.
+
+    Anchored to the paper's 8x8 (64 PE) configuration: 0.576 + 0.382 mm^2.
+    PE-array area scales with the number of PEs.
+    """
+    if array_size <= 0:
+        raise ValueError("array_size must be positive")
+    reference_pes = 64
+    reference_area = 0.576 + 0.382
+    return reference_area * (array_size * array_size) / reference_pes

@@ -1,0 +1,14 @@
+"""GCC accelerator model (Section 4 of the paper).
+
+The accelerator is a pipeline of dedicated modules — RCA, Projection Unit,
+SH Unit, Sort Unit, Alpha Unit, Blending Unit — fed by a shared buffer
+hierarchy and an LPDDR interface.  :class:`~repro.arch.gcc.accelerator.GccAccelerator`
+combines the per-module cycle models in this package with the work counts
+produced by the functional Gaussian-wise renderer to estimate per-frame
+cycles, DRAM traffic and energy.
+"""
+
+from repro.arch.gcc.accelerator import GccAccelerator
+from repro.arch.gcc.config import GccConfig
+
+__all__ = ["GccAccelerator", "GccConfig"]

@@ -1,0 +1,53 @@
+"""Blending Unit — Stage IV transmittance update and colour accumulation.
+
+Section 4.5: once a block's alphas pass the transparency check, an ``n x n``
+FMA array updates per-pixel transmittance and accumulates the RGB colour
+(Equation 4), enforcing front-to-back order at block granularity and
+maintaining the transmittance mask that disables saturated blocks for
+subsequent Gaussians.  Results live in the Image Buffer; each blended block
+costs one read-modify-write of its accumulation state.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.gcc.config import GccConfig
+from repro.arch.units import PipelinedUnit
+
+#: FMA operations per blended pixel: transmittance update (1) plus three
+#: colour-channel accumulations (3).
+BLEND_FMA_PER_PIXEL = 4.0
+
+
+def make_blending_unit(config: GccConfig, block_size: int | None = None) -> PipelinedUnit:
+    """The Blending Unit: one block pass per cycle at the PE-array size."""
+    block = block_size or config.alpha_array_size
+    passes_per_block = math.ceil((block * block) / config.alpha_array_pes)
+    return PipelinedUnit(
+        name="blend",
+        items_per_cycle=1.0 / passes_per_block,
+        latency_cycles=4,
+        ops_per_item=block * block * BLEND_FMA_PER_PIXEL,
+    )
+
+
+def blending_cycles(
+    config: GccConfig,
+    blocks_blended: int,
+    block_size: int | None = None,
+) -> tuple[float, dict[str, float]]:
+    """Cycles and ops for blending ``blocks_blended`` block passes."""
+    unit = make_blending_unit(config, block_size)
+    cycles = unit.process(blocks_blended)
+    detail = {"blend": cycles, "blend_fma_ops": unit.activity.ops}
+    return cycles, detail
+
+
+def image_buffer_traffic(
+    blocks_blended: int,
+    block_size: int,
+    bytes_per_pixel: int,
+) -> int:
+    """Image Buffer bytes moved: read-modify-write of each blended block."""
+    return blocks_blended * block_size * block_size * bytes_per_pixel * 2

@@ -1,0 +1,47 @@
+"""Projection Unit — Stage II hardware (PPU + RU + SCU + shared MVM).
+
+Section 4.3: the Position Projection Unit (PPU) transforms each Gaussian's
+mean into screen space (three parallel MVM lanes plus a four-cycle iterative
+fused divide/sqrt unit, interleaved so one Gaussian issues per cycle); the
+Reconstruction Unit (RU) rebuilds the covariance from scale and quaternion
+and forms the Jacobian; the shared MVM chains the matrix products of
+Equation 1; and the Screen Culling Unit (SCU) applies the omega-sigma law to
+prune off-screen Gaussians.
+"""
+
+from __future__ import annotations
+
+from repro.arch.gcc.config import GccConfig
+from repro.arch.units import PipelinedUnit
+
+#: Approximate FMA operations per Gaussian for the full Stage-II transform:
+#: view transform (9), perspective + NDC (8), covariance reconstruction
+#: R S S^T R^T (~45), Jacobian build (6), J W Sigma W^T J^T (~40), 2x2
+#: inversion + eigenvalues (~12).
+PROJECTION_OPS_PER_GAUSSIAN = 120.0
+
+#: Special-function operations per Gaussian (divide / sqrt iterations).
+PROJECTION_SFU_PER_GAUSSIAN = 8.0
+
+
+def make_projection_unit(config: GccConfig) -> PipelinedUnit:
+    """The combined Stage-II pipeline at the configured parallelism."""
+    throughput = config.projection_units / config.projection_cycles_per_gaussian
+    return PipelinedUnit(
+        name="projection",
+        items_per_cycle=throughput,
+        latency_cycles=16,
+        ops_per_item=PROJECTION_OPS_PER_GAUSSIAN,
+    )
+
+
+def projection_cycles(config: GccConfig, num_projected: int) -> tuple[float, dict[str, float]]:
+    """Cycles for projecting ``num_projected`` Gaussians, plus op counts."""
+    unit = make_projection_unit(config)
+    cycles = unit.process(num_projected)
+    detail = {
+        "projection": cycles,
+        "projection_fma_ops": unit.activity.ops,
+        "projection_sfu_ops": num_projected * PROJECTION_SFU_PER_GAUSSIAN,
+    }
+    return cycles, detail

@@ -1,0 +1,39 @@
+"""Spherical Harmonics Unit — Stage III colour evaluation hardware.
+
+Section 4.1/4.3: one SH Unit containing a Spherical Harmonics Element per
+colour channel evaluates the degree-3 expansion (16 coefficients per
+channel).  The view-direction normalisation reuses the fused divide/sqrt
+design of the PPU.  Under cross-stage conditional processing the unit is
+only activated for Gaussians whose footprint still overlaps unsaturated
+pixels, which is what lets GCC provision a single unit where GSCore needs
+four-way parallelism.
+"""
+
+from __future__ import annotations
+
+from repro.arch.gcc.config import GccConfig
+from repro.arch.units import PipelinedUnit
+from repro.gaussians.sh import count_sh_flops
+
+
+def make_sh_unit(config: GccConfig) -> PipelinedUnit:
+    """The SH Unit at the configured parallelism."""
+    throughput = config.sh_units / config.sh_cycles_per_gaussian
+    return PipelinedUnit(
+        name="sh",
+        items_per_cycle=throughput,
+        latency_cycles=8,
+        ops_per_item=float(count_sh_flops(1)),
+    )
+
+
+def sh_cycles(config: GccConfig, num_evaluated: int) -> tuple[float, dict[str, float]]:
+    """Cycles for evaluating SH colour of ``num_evaluated`` Gaussians."""
+    unit = make_sh_unit(config)
+    cycles = unit.process(num_evaluated)
+    detail = {
+        "sh": cycles,
+        "sh_fma_ops": unit.activity.ops,
+        "sh_sfu_ops": float(num_evaluated * 3),  # direction normalisation
+    }
+    return cycles, detail

@@ -1,0 +1,16 @@
+"""GSCore baseline accelerator model (standard two-stage, tile-wise dataflow).
+
+GSCore (Lee et al., ASPLOS 2024) is the state-of-the-art 3DGS inference
+accelerator the paper compares against.  Its dataflow is the standard GPU
+pipeline: preprocess every Gaussian, build Gaussian-tile key-value pairs,
+sort per tile, and render tiles with a 16x16 volume-rendering array assisted
+by oriented-bounding-box subtile skipping.  The model here follows the
+configuration published in the GCC and GSCore papers (4-way preprocessing,
+272 KB SRAM, LPDDR4-3200) so the comparison is dataflow-versus-dataflow on a
+matched budget.
+"""
+
+from repro.arch.gscore.accelerator import GScoreAccelerator
+from repro.arch.gscore.config import GScoreConfig
+
+__all__ = ["GScoreAccelerator", "GScoreConfig"]

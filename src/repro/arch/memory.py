@@ -1,0 +1,145 @@
+"""Off-chip DRAM and on-chip SRAM models.
+
+The DRAM model is a bandwidth/traffic model: each traffic class (3D Gaussian
+attributes, 2D projected attributes, key-value pairs, frame buffer spills)
+accumulates bytes, and the time cost of the total traffic is
+``bytes / peak_bandwidth``.  This matches the paper's methodology (Micron
+LPDDR4-3200 with 51.2 GB/s peak) and is what produces the memory-bound to
+compute-bound crossover of Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.params import DEFAULT_DRAM, DramPreset, TechnologyParams, dram_preset
+
+
+@dataclass
+class TrafficCounter:
+    """Byte counters split by traffic class."""
+
+    #: Full 3D Gaussian attribute loads (59 floats or subsets thereof).
+    gaussian_3d: int = 0
+    #: Projected 2D Gaussian attribute traffic (means, conics, colours).
+    gaussian_2d: int = 0
+    #: Gaussian-tile key-value pair traffic (tile-wise dataflow only).
+    key_value: int = 0
+    #: Grouping metadata traffic (depth/ID spills of GCC's Stage I).
+    grouping: int = 0
+    #: Frame/image buffer spills to DRAM (Compatibility-Mode sub-view swaps).
+    framebuffer: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total bytes moved across all classes."""
+        return (
+            self.gaussian_3d
+            + self.gaussian_2d
+            + self.key_value
+            + self.grouping
+            + self.framebuffer
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the per-class byte counts as a plain dictionary."""
+        return {
+            "gaussian_3d": self.gaussian_3d,
+            "gaussian_2d": self.gaussian_2d,
+            "key_value": self.key_value,
+            "grouping": self.grouping,
+            "framebuffer": self.framebuffer,
+            "total": self.total,
+        }
+
+    def __add__(self, other: "TrafficCounter") -> "TrafficCounter":
+        return TrafficCounter(
+            gaussian_3d=self.gaussian_3d + other.gaussian_3d,
+            gaussian_2d=self.gaussian_2d + other.gaussian_2d,
+            key_value=self.key_value + other.key_value,
+            grouping=self.grouping + other.grouping,
+            framebuffer=self.framebuffer + other.framebuffer,
+        )
+
+
+@dataclass
+class DramModel:
+    """Bandwidth-limited off-chip memory.
+
+    Parameters
+    ----------
+    preset:
+        One of :data:`repro.arch.params.DRAM_PRESETS` (or a custom
+        :class:`DramPreset`).
+    tech:
+        Clock parameters used to convert transfer time into cycles.
+    """
+
+    preset: DramPreset = field(default_factory=lambda: dram_preset(DEFAULT_DRAM))
+    tech: TechnologyParams = field(default_factory=TechnologyParams)
+    traffic: TrafficCounter = field(default_factory=TrafficCounter)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Peak bytes the interface can transfer per accelerator clock cycle."""
+        return self.preset.bandwidth_gbps * 1.0e9 / self.tech.clock_hz
+
+    def record(self, traffic_class: str, num_bytes: int) -> None:
+        """Add ``num_bytes`` of traffic to the named class."""
+        if num_bytes < 0:
+            raise ValueError("traffic bytes must be non-negative")
+        if not hasattr(self.traffic, traffic_class):
+            raise KeyError(f"unknown traffic class {traffic_class!r}")
+        setattr(
+            self.traffic, traffic_class, getattr(self.traffic, traffic_class) + int(num_bytes)
+        )
+
+    def transfer_cycles(self, num_bytes: int | None = None) -> float:
+        """Cycles needed to move ``num_bytes`` (defaults to all recorded traffic)."""
+        total = self.traffic.total if num_bytes is None else num_bytes
+        if total <= 0:
+            return 0.0
+        return total / self.bytes_per_cycle
+
+    def energy_pj(self, energy_per_byte: float | None = None) -> float:
+        """Energy of all recorded traffic in picojoules."""
+        per_byte = self.preset.energy_pj_per_byte if energy_per_byte is None else energy_per_byte
+        return self.traffic.total * per_byte
+
+
+@dataclass
+class SramBuffer:
+    """One on-chip buffer: capacity plus access-byte accounting.
+
+    ``capacity_bytes`` is only used for configuration checks (e.g. whether a
+    full-resolution image fits the Image Buffer, which triggers Compatibility
+    Mode); energy is proportional to accessed bytes.
+    """
+
+    name: str
+    capacity_bytes: int
+    bytes_accessed: int = 0
+
+    def access(self, num_bytes: int) -> None:
+        """Record ``num_bytes`` of read+write traffic to this buffer."""
+        if num_bytes < 0:
+            raise ValueError("access bytes must be non-negative")
+        self.bytes_accessed += int(num_bytes)
+
+    def fits(self, num_bytes: int) -> bool:
+        """Whether a working set of ``num_bytes`` fits in this buffer."""
+        return num_bytes <= self.capacity_bytes
+
+    def energy_pj(self, pj_per_byte: float) -> float:
+        """Dynamic access energy in picojoules."""
+        return self.bytes_accessed * pj_per_byte
+
+
+def image_buffer_bytes(width: int, height: int, bytes_per_pixel: int = 16) -> int:
+    """On-chip image-buffer working set for a ``width x height`` view.
+
+    Each pixel holds accumulated RGB plus transmittance (4 values); the GCC
+    architecture stores them at FP32 (16 bytes/pixel), so a 128x128 sub-view
+    needs 256 KB of accumulation state split across the banked Image Buffer.
+    """
+    return width * height * bytes_per_pixel

@@ -1,0 +1,75 @@
+"""Generic pipelined compute-unit cycle model.
+
+Every GCC/GSCore hardware module (Projection Unit, SH Unit, Alpha Unit, ...)
+is modelled as a pipelined unit characterised by:
+
+* ``items_per_cycle`` — steady-state throughput once the pipeline is full,
+* ``latency_cycles`` — pipeline depth (paid once per batch of work),
+* ``ops_per_item`` — arithmetic operations per item, used for energy.
+
+This matches the paper's methodology: each module performs functionally
+correct computation while tracking the cycle-level cost of each operation,
+validated against the HDL at the cycle level.  Here the functional
+computation lives in :mod:`repro.render`; the unit model turns the collected
+work counts into cycles and operation counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UnitActivity:
+    """Accumulated activity of one hardware unit."""
+
+    items: int = 0
+    cycles: float = 0.0
+    ops: float = 0.0
+
+    def __add__(self, other: "UnitActivity") -> "UnitActivity":
+        return UnitActivity(
+            items=self.items + other.items,
+            cycles=self.cycles + other.cycles,
+            ops=self.ops + other.ops,
+        )
+
+
+@dataclass
+class PipelinedUnit:
+    """A throughput/latency model of one pipelined hardware module."""
+
+    name: str
+    #: Items retired per cycle in steady state (may be fractional, e.g. a
+    #: unit needing 4 cycles per item has throughput 0.25).
+    items_per_cycle: float
+    #: Pipeline fill latency charged once per invocation batch.
+    latency_cycles: int = 0
+    #: Arithmetic operations performed per item (for energy accounting).
+    ops_per_item: float = 1.0
+    activity: UnitActivity = field(default_factory=UnitActivity)
+
+    def __post_init__(self) -> None:
+        if self.items_per_cycle <= 0:
+            raise ValueError("items_per_cycle must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+
+    def process(self, items: int, batches: int = 1) -> float:
+        """Account for processing ``items`` items split over ``batches`` batches.
+
+        Returns the cycles consumed and accumulates them in ``activity``.
+        """
+        if items < 0:
+            raise ValueError("items must be non-negative")
+        if items == 0:
+            return 0.0
+        cycles = items / self.items_per_cycle + self.latency_cycles * max(batches, 1)
+        self.activity.items += items
+        self.activity.cycles += cycles
+        self.activity.ops += items * self.ops_per_item
+        return cycles
+
+    def reset(self) -> None:
+        """Clear accumulated activity."""
+        self.activity = UnitActivity()

@@ -1,0 +1,38 @@
+"""Stage-structured dataflow API mirroring Figure 3 of the paper.
+
+While :mod:`repro.render` exposes whole-frame renderers, this subpackage
+exposes the GCC pipeline stage by stage so that applications (and the
+examples/tests) can inspect what each stage consumes, produces and filters:
+
+* :class:`~repro.dataflow.grouping.GroupingStage` — Stage I, depth
+  computation and grouping.
+* :class:`~repro.dataflow.projection.ProjectionStage` — Stage II, position
+  and shape projection with omega-sigma screen culling.
+* :class:`~repro.dataflow.colorsort.ColorSortStage` — Stage III, SH colour
+  mapping and intra-group sorting.
+* :class:`~repro.dataflow.alphablend.AlphaBlendStage` — Stage IV, alpha
+  computation and blending with the transmittance mask.
+* :class:`~repro.dataflow.pipeline.GccDataflow` — the four stages chained
+  with cross-stage conditional processing.
+* :class:`~repro.dataflow.standard.StandardDataflow` — the conventional
+  preprocess-then-render pipeline, for comparison.
+"""
+
+from repro.dataflow.alphablend import AlphaBlendStage, FrameBuffers
+from repro.dataflow.colorsort import ColorSortStage
+from repro.dataflow.grouping import GroupingStage
+from repro.dataflow.pipeline import GccDataflow, GccDataflowResult
+from repro.dataflow.projection import ProjectionStage
+from repro.dataflow.standard import StandardDataflow, StandardDataflowResult
+
+__all__ = [
+    "AlphaBlendStage",
+    "ColorSortStage",
+    "FrameBuffers",
+    "GccDataflow",
+    "GccDataflowResult",
+    "GroupingStage",
+    "ProjectionStage",
+    "StandardDataflow",
+    "StandardDataflowResult",
+]

@@ -1,0 +1,145 @@
+"""Stage IV — alpha computation and blending with the transmittance mask."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.render.blending import blend_pixels, compute_alpha, finalize_image
+from repro.render.boundary import identify_influence_blocks
+from repro.render.common import RenderConfig
+from repro.render.preprocess import GeometryProjection
+
+
+@dataclass
+class FrameBuffers:
+    """Accumulation state of one frame (the hardware Image Buffer contents)."""
+
+    width: int
+    height: int
+    block_size: int
+    color: np.ndarray = field(init=False)
+    transmittance: np.ndarray = field(init=False)
+    saturated_blocks: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.color = np.zeros((self.height, self.width, 3), dtype=np.float64)
+        self.transmittance = np.ones((self.height, self.width), dtype=np.float64)
+        blocks_y = (self.height + self.block_size - 1) // self.block_size
+        blocks_x = (self.width + self.block_size - 1) // self.block_size
+        self.saturated_blocks = np.zeros((blocks_y, blocks_x), dtype=bool)
+
+    @property
+    def all_saturated(self) -> bool:
+        """True when every block has terminated (triggers group skipping)."""
+        return bool(np.all(self.saturated_blocks))
+
+    def finalize(self, background: tuple[float, float, float]) -> np.ndarray:
+        """Composite the accumulated colour over the background."""
+        return finalize_image(self.color, self.transmittance, background)
+
+
+@dataclass
+class AlphaBlendGroupStats:
+    """Per-group work counters reported by Stage IV."""
+
+    gaussians_blended: int = 0
+    gaussians_skipped: int = 0
+    alpha_evaluations: int = 0
+    pixels_blended: int = 0
+    blocks_visited: int = 0
+    blocks_evaluated: int = 0
+    blocks_skipped_tmask: int = 0
+
+
+class AlphaBlendStage:
+    """Stage IV: alpha computation over identified blocks, then blending.
+
+    The stage mutates the :class:`FrameBuffers` in place, exactly as the
+    hardware updates the Image Buffer, and keeps the block-level saturation
+    mask (``T_mask``) up to date so later Gaussians and groups can be skipped.
+    """
+
+    def __init__(self, config: RenderConfig | None = None) -> None:
+        self.config = config or RenderConfig(radius_rule="omega-sigma")
+
+    def footprint_blocks(
+        self,
+        geometry: GeometryProjection,
+        row: int,
+        buffers: FrameBuffers,
+        respect_mask: bool = True,
+    ):
+        """Run boundary identification for one Gaussian of the group."""
+        return identify_influence_blocks(
+            geometry.means2d[row],
+            geometry.conics[row],
+            float(geometry.opacities[row]),
+            buffers.width,
+            buffers.height,
+            block_size=buffers.block_size,
+            alpha_min=self.config.alpha_min,
+            saturated_blocks=buffers.saturated_blocks if respect_mask else None,
+        )
+
+    def blend_gaussian(
+        self,
+        geometry: GeometryProjection,
+        row: int,
+        color: np.ndarray,
+        blocks: list[tuple[int, int]],
+        buffers: FrameBuffers,
+        stats: AlphaBlendGroupStats,
+    ) -> int:
+        """Blend one Gaussian over the given blocks; returns pixels blended."""
+        config = self.config
+        block_size = buffers.block_size
+        mean2d = geometry.means2d[row]
+        conic = geometry.conics[row]
+        opacity = float(geometry.opacities[row])
+        contributed_total = 0
+
+        for by, bx in blocks:
+            y0, x0 = by * block_size, bx * block_size
+            y1 = min(y0 + block_size, buffers.height)
+            x1 = min(x0 + block_size, buffers.width)
+            xs = np.arange(x0, x1, dtype=np.float64)
+            ys = np.arange(y0, y1, dtype=np.float64)
+            grid_x, grid_y = np.meshgrid(xs, ys)
+            alpha = compute_alpha(
+                conic,
+                opacity,
+                grid_x - mean2d[0],
+                grid_y - mean2d[1],
+                alpha_min=config.alpha_min,
+                alpha_max=config.alpha_max,
+            )
+            stats.alpha_evaluations += alpha.size
+            stats.blocks_evaluated += 1
+
+            block_color = buffers.color[y0:y1, x0:x1].reshape(-1, 3)
+            block_trans = buffers.transmittance[y0:y1, x0:x1].reshape(-1)
+            contributed = blend_pixels(
+                block_color,
+                block_trans,
+                alpha.reshape(-1),
+                color,
+                config.transmittance_eps,
+            )
+            buffers.color[y0:y1, x0:x1] = block_color.reshape(y1 - y0, x1 - x0, 3)
+            buffers.transmittance[y0:y1, x0:x1] = block_trans.reshape(y1 - y0, x1 - x0)
+            stats.pixels_blended += contributed
+            contributed_total += contributed
+
+            if np.all(buffers.transmittance[y0:y1, x0:x1] <= config.transmittance_eps):
+                buffers.saturated_blocks[by, bx] = True
+
+        return contributed_total
+
+
+def make_frame_buffers(camera: Camera, config: RenderConfig | None = None) -> FrameBuffers:
+    """Convenience constructor for :class:`FrameBuffers` matching a camera."""
+    config = config or RenderConfig(radius_rule="omega-sigma")
+    return FrameBuffers(width=camera.width, height=camera.height, block_size=config.block_size)

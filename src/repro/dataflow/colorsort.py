@@ -1,0 +1,75 @@
+"""Stage III — colour mapping (spherical harmonics) and intra-group sorting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianScene
+from repro.gaussians.sh import evaluate_sh_colors
+from repro.render.common import RenderConfig
+from repro.render.preprocess import GeometryProjection
+
+
+@dataclass
+class ColorSortResult:
+    """Output of Stage III for one depth group."""
+
+    #: Row order (into the group's projection arrays) sorted front-to-back.
+    order: np.ndarray
+    #: Evaluated RGB colours aligned with the projection rows (NaN rows were
+    #: skipped by cross-stage conditional processing).
+    colors: np.ndarray
+    #: Boolean mask of rows whose SH colour was actually evaluated.
+    evaluated: np.ndarray
+
+    @property
+    def num_evaluated(self) -> int:
+        """Number of Gaussians whose SH payload was fetched and evaluated."""
+        return int(np.count_nonzero(self.evaluated))
+
+
+class ColorSortStage:
+    """Stage III: evaluate SH colours and sort the group front-to-back.
+
+    Under cross-stage conditional processing, the caller passes
+    ``needs_color`` — the per-row result of checking the Gaussian's footprint
+    against the transmittance mask — and only those rows pay the SH fetch and
+    evaluation.  Rows that skip evaluation keep NaN colours; Stage IV never
+    reads them because their footprint is fully saturated.
+    """
+
+    def __init__(self, config: RenderConfig | None = None) -> None:
+        self.config = config or RenderConfig(radius_rule="omega-sigma")
+
+    def run(
+        self,
+        scene: GaussianScene,
+        camera: Camera,
+        geometry: GeometryProjection,
+        needs_color: np.ndarray | None = None,
+    ) -> ColorSortResult:
+        """Execute Stage III for one projected depth group."""
+        count = geometry.num_visible
+        order = np.argsort(geometry.depths, kind="stable")
+        colors = np.full((count, 3), np.nan)
+        if count == 0:
+            return ColorSortResult(order=order, colors=colors, evaluated=np.zeros(0, dtype=bool))
+
+        if needs_color is None:
+            evaluated = np.ones(count, dtype=bool)
+        else:
+            evaluated = np.asarray(needs_color, dtype=bool)
+            if evaluated.shape != (count,):
+                raise ValueError("needs_color must have one entry per visible Gaussian")
+
+        rows = np.nonzero(evaluated)[0]
+        if rows.size:
+            sources = geometry.source_indices[rows]
+            directions = scene.means[sources] - camera.position[None, :]
+            colors[rows] = evaluate_sh_colors(
+                scene.sh_coeffs[sources], directions, degree=self.config.sh_degree
+            )
+        return ColorSortResult(order=order, colors=colors, evaluated=evaluated)

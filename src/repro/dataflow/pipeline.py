@@ -1,0 +1,123 @@
+"""The complete GCC dataflow: Stages I-IV with cross-stage conditions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataflow.alphablend import AlphaBlendGroupStats, AlphaBlendStage, FrameBuffers
+from repro.dataflow.colorsort import ColorSortStage
+from repro.dataflow.grouping import GroupingStage
+from repro.dataflow.projection import ProjectionStage
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianScene
+from repro.render.common import RenderConfig
+
+
+@dataclass
+class GccDataflowResult:
+    """Image plus per-stage counters produced by :class:`GccDataflow`."""
+
+    image: np.ndarray
+    #: Per-group Stage IV statistics, in processing order.
+    group_stats: list[AlphaBlendGroupStats] = field(default_factory=list)
+    num_groups: int = 0
+    num_groups_processed: int = 0
+    num_groups_skipped: int = 0
+    num_projected: int = 0
+    num_screen_passed: int = 0
+    num_sh_evaluated: int = 0
+    num_rendered: int = 0
+
+    @property
+    def pixels_blended(self) -> int:
+        """Total blended pixels across all processed groups."""
+        return sum(stats.pixels_blended for stats in self.group_stats)
+
+
+class GccDataflow:
+    """Stage-by-stage execution of the GCC pipeline (Figure 3).
+
+    This class exists for inspection and experimentation: it exposes each
+    stage object so callers can substitute configurations (e.g. a different
+    group capacity, block size, or radius rule).  For plain rendering,
+    :func:`repro.render.render_gaussianwise` is faster because it fuses the
+    stages; the two are tested to produce identical images.
+    """
+
+    def __init__(self, config: RenderConfig | None = None, enable_cc: bool = True) -> None:
+        self.config = config or RenderConfig(radius_rule="omega-sigma")
+        self.enable_cc = enable_cc
+        self.grouping = GroupingStage(self.config)
+        self.projection = ProjectionStage(self.config)
+        self.colorsort = ColorSortStage(self.config)
+        self.alphablend = AlphaBlendStage(self.config)
+
+    def run(self, scene: GaussianScene, camera: Camera) -> GccDataflowResult:
+        """Render one frame, returning the image and per-stage counters."""
+        buffers = FrameBuffers(
+            width=camera.width, height=camera.height, block_size=self.config.block_size
+        )
+        result = GccDataflowResult(image=np.zeros((camera.height, camera.width, 3)))
+
+        grouping = self.grouping.run(scene, camera)
+        result.num_groups = grouping.num_groups
+
+        terminated = False
+        for group_index in range(grouping.num_groups):
+            if self.enable_cc and terminated:
+                result.num_groups_skipped += 1
+                continue
+            result.num_groups_processed += 1
+
+            scene_indices = grouping.group_scene_indices(group_index)
+            geometry = self.projection.run(scene, camera, scene_indices)
+            result.num_projected += geometry.num_input
+            result.num_screen_passed += geometry.num_visible
+            if geometry.num_visible == 0:
+                continue
+
+            # Boundary identification first: under CC it decides which rows
+            # need their SH colour at all.
+            stats = AlphaBlendGroupStats()
+            traversals = []
+            needs_color = np.zeros(geometry.num_visible, dtype=bool)
+            # Process rows in front-to-back order within the group.
+            order = np.argsort(geometry.depths, kind="stable")
+            for row in order:
+                traversal = self.alphablend.footprint_blocks(
+                    geometry, int(row), buffers, respect_mask=self.enable_cc
+                )
+                traversals.append((int(row), traversal))
+                stats.blocks_visited += traversal.blocks_visited
+                stats.blocks_skipped_tmask += traversal.blocks_skipped_tmask
+                needs_color[row] = bool(traversal.blocks) or not self.enable_cc
+
+            colorsort = self.colorsort.run(scene, camera, geometry, needs_color)
+            result.num_sh_evaluated += colorsort.num_evaluated
+
+            for row, traversal in traversals:
+                if not traversal.blocks:
+                    stats.gaussians_skipped += 1
+                    continue
+                contributed = self.alphablend.blend_gaussian(
+                    geometry,
+                    row,
+                    colorsort.colors[row],
+                    traversal.blocks,
+                    buffers,
+                    stats,
+                )
+                if contributed:
+                    stats.gaussians_blended += 1
+                    result.num_rendered += 1
+                else:
+                    stats.gaussians_skipped += 1
+
+            result.group_stats.append(stats)
+            if self.enable_cc and buffers.all_saturated:
+                terminated = True
+
+        result.image = buffers.finalize(self.config.background)
+        return result

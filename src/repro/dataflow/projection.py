@@ -1,0 +1,34 @@
+"""Stage II — position and shape projection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianScene
+from repro.render.common import RenderConfig
+from repro.render.preprocess import GeometryProjection, project_geometry
+
+
+class ProjectionStage:
+    """Stage II: project a depth group's Gaussians to screen space.
+
+    The 3D mean is projected to pixel coordinates, the covariance is
+    reconstructed from scale and quaternion and projected via the Jacobian
+    (Equation 1), and the omega-sigma law (Equation 8) yields an
+    opacity-aware bounding radius used for screen culling.  Only geometry is
+    touched — 44 bytes per Gaussian — leaving the 192-byte SH payload for
+    Stage III to fetch conditionally.
+    """
+
+    def __init__(self, config: RenderConfig | None = None) -> None:
+        self.config = config or RenderConfig(radius_rule="omega-sigma")
+
+    def run(
+        self,
+        scene: GaussianScene,
+        camera: Camera,
+        scene_indices: np.ndarray,
+    ) -> GeometryProjection:
+        """Project the Gaussians at ``scene_indices`` for ``camera``."""
+        return project_geometry(scene, camera, scene_indices, self.config)

@@ -1,0 +1,53 @@
+"""The standard dataflow: preprocess-then-render with tile-wise rendering.
+
+This is the pipeline GSCore and the original GPU rasteriser implement.  It is
+provided in stage-structured form for side-by-side comparison with
+:class:`repro.dataflow.pipeline.GccDataflow` in examples and tests; the heavy
+lifting is delegated to :func:`repro.render.tile_raster.render_tilewise`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianScene
+from repro.render.common import RenderConfig
+from repro.render.preprocess import ProjectedGaussians, project_scene
+from repro.render.tile_raster import TileWiseStats, render_tilewise
+
+
+@dataclass
+class StandardDataflowResult:
+    """Image, preprocessing output and statistics of the standard pipeline."""
+
+    image: np.ndarray
+    projected: ProjectedGaussians
+    stats: TileWiseStats
+
+    @property
+    def preprocessed_unused(self) -> int:
+        """Preprocessed 2D Gaussians never used in rendering (Challenge 1)."""
+        return self.stats.num_preprocessed - self.stats.num_rendered
+
+
+class StandardDataflow:
+    """Two-stage execution: unconditional preprocessing, then tile rendering."""
+
+    def __init__(self, config: RenderConfig | None = None) -> None:
+        self.config = config or RenderConfig(radius_rule="3sigma")
+
+    def preprocess(self, scene: GaussianScene, camera: Camera) -> ProjectedGaussians:
+        """Stage 1: project and colour-evaluate every Gaussian unconditionally."""
+        return project_scene(scene, camera, self.config)
+
+    def run(self, scene: GaussianScene, camera: Camera) -> StandardDataflowResult:
+        """Render one frame with the standard dataflow."""
+        result = render_tilewise(scene, camera, self.config)
+        return StandardDataflowResult(
+            image=np.asarray(result.image),
+            projected=result.projected,
+            stats=result.stats,
+        )

@@ -1,0 +1,119 @@
+"""Cached execution of renders and accelerator simulations.
+
+Several experiments need the same underlying artefacts (e.g. the tile-wise
+render of Train feeds Figure 2, Table 1, Table 2, Figure 10 and Figure 12),
+so this module memoises them per evaluation setup.  All functions are pure
+with respect to their arguments; the cache can be cleared with
+:func:`clear_cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.gcc import GccAccelerator, GccConfig
+from repro.arch.gscore import GScoreAccelerator, GScoreConfig
+from repro.arch.report import SimulationReport
+from repro.eval.scenes import eval_preset
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianScene
+from repro.gaussians.synthetic import make_camera, make_scene
+from repro.render.common import RenderConfig
+from repro.render.gaussian_raster import GaussianWiseResult, render_gaussianwise
+from repro.render.tile_raster import TileWiseResult, render_tilewise
+
+_CACHE: dict[tuple, object] = {}
+
+
+@dataclass(frozen=True)
+class EvalSetup:
+    """Identifies one evaluation configuration of a scene."""
+
+    scene: str
+    quick: bool = False
+
+    def preset(self):
+        return eval_preset(self.scene, quick=self.quick)
+
+
+def clear_cache() -> None:
+    """Drop every memoised scene, render and simulation."""
+    _CACHE.clear()
+
+
+def _cached(key: tuple, factory):
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]
+
+
+def load_scene_and_camera(setup: EvalSetup) -> tuple[GaussianScene, Camera]:
+    """Instantiate (and cache) the synthetic scene and camera for a setup."""
+    preset = setup.preset()
+
+    def build():
+        scene = make_scene(preset.name, scale=preset.scale)
+        camera = make_camera(
+            preset.name, view_index=preset.view_index, image_scale=preset.image_scale
+        )
+        return scene, camera
+
+    return _cached(("scene", setup), build)
+
+
+def run_tilewise(setup: EvalSetup, tile_size: int = 16) -> TileWiseResult:
+    """Standard-dataflow render of a setup (cached)."""
+
+    def build():
+        scene, camera = load_scene_and_camera(setup)
+        config = RenderConfig(tile_size=tile_size, radius_rule="3sigma")
+        return render_tilewise(scene, camera, config, obb_subtile_skip=True)
+
+    return _cached(("tilewise", setup, tile_size), build)
+
+
+def run_gaussianwise(
+    setup: EvalSetup,
+    enable_cc: bool = True,
+    block_size: int = 8,
+    boundary_mode: str = "alpha",
+) -> GaussianWiseResult:
+    """GCC-dataflow render of a setup (cached)."""
+
+    def build():
+        scene, camera = load_scene_and_camera(setup)
+        config = RenderConfig(radius_rule="omega-sigma", block_size=block_size)
+        return render_gaussianwise(
+            scene, camera, config, enable_cc=enable_cc, boundary_mode=boundary_mode
+        )
+
+    return _cached(("gaussianwise", setup, enable_cc, block_size, boundary_mode), build)
+
+
+def run_gscore_sim(setup: EvalSetup, config: GScoreConfig | None = None) -> SimulationReport:
+    """GSCore accelerator simulation of a setup (cached for the default config)."""
+    config = config or GScoreConfig()
+
+    def build():
+        scene, camera = load_scene_and_camera(setup)
+        render = run_tilewise(setup, tile_size=config.tile_size)
+        return GScoreAccelerator(config).simulate(scene, camera, render_result=render)
+
+    return _cached(("gscore", setup, config), build)
+
+
+def run_gcc_sim(setup: EvalSetup, config: GccConfig | None = None) -> SimulationReport:
+    """GCC accelerator simulation of a setup (cached per configuration)."""
+    config = config or GccConfig()
+
+    def build():
+        scene, camera = load_scene_and_camera(setup)
+        render = run_gaussianwise(
+            setup,
+            enable_cc=config.enable_cc,
+            block_size=config.alpha_array_size,
+            boundary_mode="alpha" if config.enable_alpha_boundary else "aabb",
+        )
+        return GccAccelerator(config).simulate(scene, camera, render_result=render)
+
+    return _cached(("gcc", setup, config), build)

@@ -1,0 +1,67 @@
+"""Evaluation scene presets.
+
+The paper evaluates six scenes at full training scale (0.1 - 3.3 million
+Gaussians, ~1 megapixel frames).  The presets below render each scene's
+synthetic stand-in at a reduced scale so the whole reproduction runs on a
+laptop; ``scale`` multiplies the paper-scale Gaussian count and
+``image_scale`` multiplies the paper's image resolution.  The ratios the
+paper reports (rendered fraction, per-Gaussian loads, DRAM traffic split,
+speedups) are stable under this scaling; absolute FPS numbers are not
+expected to match the 28 nm silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gaussians.synthetic import BENCHMARK_SCENES
+
+
+@dataclass(frozen=True)
+class EvalScenePreset:
+    """How one benchmark scene is instantiated for the evaluation harness."""
+
+    name: str
+    #: Fraction of the paper-scale Gaussian count to generate.
+    scale: float
+    #: Fraction of the paper's image resolution to render.
+    image_scale: float
+    #: Which evaluation camera on the orbit/indoor path to use.
+    view_index: int = 0
+
+
+#: Default presets: 6k-14k Gaussians and 100-180 px images per scene.
+EVAL_SCENES: dict[str, EvalScenePreset] = {
+    "palace": EvalScenePreset("palace", scale=0.06, image_scale=0.18),
+    "lego": EvalScenePreset("lego", scale=0.06, image_scale=0.18),
+    "train": EvalScenePreset("train", scale=0.010, image_scale=0.18),
+    "truck": EvalScenePreset("truck", scale=0.005, image_scale=0.18),
+    "playroom": EvalScenePreset("playroom", scale=0.005, image_scale=0.12),
+    "drjohnson": EvalScenePreset("drjohnson", scale=0.004, image_scale=0.12),
+}
+
+#: Reduced presets for fast smoke runs (tests and --quick benchmarking).
+QUICK_SCENES: dict[str, EvalScenePreset] = {
+    name: EvalScenePreset(name, scale=preset.scale * 0.25, image_scale=preset.image_scale * 0.6)
+    for name, preset in EVAL_SCENES.items()
+}
+
+#: The three scenes the paper uses for breakdown/ablation studies (Fig. 11, 15).
+ABLATION_SCENES: tuple[str, ...] = ("palace", "train", "drjohnson")
+
+#: The four real-capture scenes of Figure 2 and Table 1.
+MOTIVATION_SCENES: tuple[str, ...] = ("train", "truck", "playroom", "drjohnson")
+
+
+def eval_preset(name: str, quick: bool = False) -> EvalScenePreset:
+    """Return the evaluation preset for ``name``."""
+    table = QUICK_SCENES if quick else EVAL_SCENES
+    key = name.lower()
+    if key not in table:
+        raise KeyError(f"unknown evaluation scene {name!r}; available: {sorted(table)}")
+    return table[key]
+
+
+def all_benchmark_scenes() -> tuple[str, ...]:
+    """Names of the six paper benchmark scenes, in the paper's order."""
+    return BENCHMARK_SCENES

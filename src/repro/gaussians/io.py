@@ -1,0 +1,122 @@
+"""Scene serialisation: compressed ``.npz`` archives and a simple text format.
+
+The paper consumes trained models in the original 3DGS PLY layout.  We provide
+a compact ``.npz`` container (the primary format for this reproduction) and a
+human-readable text exchange format useful for inspecting tiny scenes and for
+round-trip testing.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from repro.gaussians.model import GaussianScene
+from repro.gaussians.sh import SH_COEFFS_PER_CHANNEL
+
+_FORMAT_VERSION = 1
+
+
+def save_scene_npz(scene: GaussianScene, path: str | Path) -> None:
+    """Save ``scene`` to a compressed ``.npz`` archive at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.array(_FORMAT_VERSION),
+        name=np.array(scene.name),
+        means=scene.means,
+        scales=scene.scales,
+        quaternions=scene.quaternions,
+        opacities=scene.opacities,
+        sh_coeffs=scene.sh_coeffs,
+    )
+
+
+def load_scene_npz(path: str | Path) -> GaussianScene:
+    """Load a scene previously written by :func:`save_scene_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported scene file version {version}")
+        return GaussianScene(
+            means=data["means"],
+            scales=data["scales"],
+            quaternions=data["quaternions"],
+            opacities=data["opacities"],
+            sh_coeffs=data["sh_coeffs"],
+            name=str(data["name"]),
+        )
+
+
+def scene_to_text(scene: GaussianScene) -> str:
+    """Serialise a scene to a whitespace-separated text block.
+
+    One line per Gaussian: mean (3), scale (3), quaternion (4), opacity (1),
+    SH coefficients (48).  Intended for tiny scenes and debugging.
+    """
+    buffer = _io.StringIO()
+    buffer.write(f"# repro-gaussian-scene v{_FORMAT_VERSION}\n")
+    buffer.write(f"# name: {scene.name}\n")
+    buffer.write(f"# count: {scene.num_gaussians}\n")
+    flat_sh = scene.sh_coeffs.reshape(scene.num_gaussians, -1)
+    for i in range(scene.num_gaussians):
+        row = np.concatenate(
+            [
+                scene.means[i],
+                scene.scales[i],
+                scene.quaternions[i],
+                [scene.opacities[i]],
+                flat_sh[i],
+            ]
+        )
+        buffer.write(" ".join(f"{value:.9g}" for value in row) + "\n")
+    return buffer.getvalue()
+
+
+def scene_from_text(text: str) -> GaussianScene:
+    """Parse a scene from the text format written by :func:`scene_to_text`."""
+    name = "scene"
+    rows: list[np.ndarray] = []
+    expected_width = 3 + 3 + 4 + 1 + 3 * SH_COEFFS_PER_CHANNEL
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            if stripped.startswith("# name:"):
+                name = stripped.split(":", 1)[1].strip()
+            continue
+        values = np.fromstring(stripped, sep=" ")
+        if values.size != expected_width:
+            raise ValueError(
+                f"expected {expected_width} values per line, got {values.size}"
+            )
+        rows.append(values)
+
+    if not rows:
+        return GaussianScene.empty(name=name)
+    data = np.stack(rows, axis=0)
+    count = data.shape[0]
+    return GaussianScene(
+        means=data[:, 0:3],
+        scales=data[:, 3:6],
+        quaternions=data[:, 6:10],
+        opacities=data[:, 10],
+        sh_coeffs=data[:, 11:].reshape(count, 3, SH_COEFFS_PER_CHANNEL),
+        name=name,
+    )
+
+
+def save_scene_text(scene: GaussianScene, path: str | Path) -> None:
+    """Write the text serialisation of ``scene`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(scene_to_text(scene))
+
+
+def load_scene_text(path: str | Path) -> GaussianScene:
+    """Read a scene from the text format at ``path``."""
+    return scene_from_text(Path(path).read_text())

@@ -1,0 +1,220 @@
+"""Scene container for 3D Gaussian Splatting models.
+
+A trained 3DGS model is a set of anisotropic Gaussians, each described by 59
+floating-point parameters (Section 2.1 of the GCC paper):
+
+* 3  — mean position ``mu``
+* 3  — log-free scale factors ``s`` (axis lengths of the ellipsoid)
+* 4  — rotation quaternion ``q`` (w, x, y, z)
+* 1  — opacity ``omega`` in (0, 1]
+* 48 — spherical harmonic colour coefficients (16 per RGB channel, degree 3)
+
+:class:`GaussianScene` stores those parameters as NumPy arrays in
+structure-of-arrays form, which is both what the functional renderers consume
+and what the hardware simulators use to compute DRAM traffic (59 floats = 236
+bytes per Gaussian at FP32).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians.sh import SH_COEFFS_PER_CHANNEL
+
+#: Number of float32 parameters per Gaussian (the paper's "59 floating-point
+#: parameters": 3 mean + 3 scale + 4 quaternion + 1 opacity + 48 SH).
+FLOATS_PER_GAUSSIAN = 3 + 3 + 4 + 1 + 3 * SH_COEFFS_PER_CHANNEL
+
+#: Bytes per Gaussian at FP32 precision.
+BYTES_PER_GAUSSIAN = FLOATS_PER_GAUSSIAN * 4
+
+#: Bytes of the geometry-only subset (mean, scale, quaternion, opacity) that
+#: GCC's Stage II loads before deciding whether the SH coefficients are needed.
+BYTES_GEOMETRY = (3 + 3 + 4 + 1) * 4
+
+#: Bytes of the SH colour coefficients alone.
+BYTES_SH = 3 * SH_COEFFS_PER_CHANNEL * 4
+
+#: Bytes of the mean position alone (what Stage I depth grouping needs).
+BYTES_MEAN = 3 * 4
+
+
+class SceneValidationError(ValueError):
+    """Raised when scene arrays are inconsistent or out of range."""
+
+
+@dataclass
+class GaussianScene:
+    """Structure-of-arrays container for a 3DGS model.
+
+    Parameters
+    ----------
+    means:
+        ``(N, 3)`` float array of Gaussian centres in world space.
+    scales:
+        ``(N, 3)`` positive float array of per-axis standard deviations.
+    quaternions:
+        ``(N, 4)`` float array of unit rotation quaternions ``(w, x, y, z)``.
+    opacities:
+        ``(N,)`` float array of opacities in ``(0, 1]``.
+    sh_coeffs:
+        ``(N, 3, 16)`` float array of spherical-harmonic coefficients, one row
+        of 16 degree-3 coefficients per colour channel.
+    name:
+        Optional human-readable scene name (e.g. ``"lego"``).
+    """
+
+    means: np.ndarray
+    scales: np.ndarray
+    quaternions: np.ndarray
+    opacities: np.ndarray
+    sh_coeffs: np.ndarray
+    name: str = field(default="scene")
+
+    def __post_init__(self) -> None:
+        self.means = np.asarray(self.means, dtype=np.float64)
+        self.scales = np.asarray(self.scales, dtype=np.float64)
+        self.quaternions = np.asarray(self.quaternions, dtype=np.float64)
+        self.opacities = np.asarray(self.opacities, dtype=np.float64)
+        self.sh_coeffs = np.asarray(self.sh_coeffs, dtype=np.float64)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation and basic properties
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check shapes and ranges, raising :class:`SceneValidationError`."""
+        n = self.num_gaussians
+        if self.means.shape != (n, 3):
+            raise SceneValidationError(f"means must be (N, 3), got {self.means.shape}")
+        if self.scales.shape != (n, 3):
+            raise SceneValidationError(f"scales must be (N, 3), got {self.scales.shape}")
+        if self.quaternions.shape != (n, 4):
+            raise SceneValidationError(
+                f"quaternions must be (N, 4), got {self.quaternions.shape}"
+            )
+        if self.opacities.shape != (n,):
+            raise SceneValidationError(
+                f"opacities must be (N,), got {self.opacities.shape}"
+            )
+        if self.sh_coeffs.shape != (n, 3, SH_COEFFS_PER_CHANNEL):
+            raise SceneValidationError(
+                "sh_coeffs must be (N, 3, %d), got %s"
+                % (SH_COEFFS_PER_CHANNEL, self.sh_coeffs.shape)
+            )
+        if n and np.any(self.scales <= 0):
+            raise SceneValidationError("scales must be strictly positive")
+        if n and (np.any(self.opacities <= 0) or np.any(self.opacities > 1)):
+            raise SceneValidationError("opacities must lie in (0, 1]")
+        if n:
+            norms = np.linalg.norm(self.quaternions, axis=1)
+            if np.any(norms < 1e-8):
+                raise SceneValidationError("quaternions must be non-zero")
+
+    @property
+    def num_gaussians(self) -> int:
+        """Number of Gaussians in the scene."""
+        return int(self.means.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_gaussians
+
+    @property
+    def total_bytes(self) -> int:
+        """Total model footprint in bytes at FP32 (59 floats per Gaussian)."""
+        return self.num_gaussians * BYTES_PER_GAUSSIAN
+
+    # ------------------------------------------------------------------
+    # Subsetting / transformation helpers
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray) -> "GaussianScene":
+        """Return a new scene containing only the Gaussians at ``indices``.
+
+        ``indices`` may be an integer index array or a boolean mask.
+        """
+        indices = np.asarray(indices)
+        return GaussianScene(
+            means=self.means[indices],
+            scales=self.scales[indices],
+            quaternions=self.quaternions[indices],
+            opacities=self.opacities[indices],
+            sh_coeffs=self.sh_coeffs[indices],
+            name=self.name,
+        )
+
+    def concatenated_with(self, other: "GaussianScene") -> "GaussianScene":
+        """Return a new scene that is the union of ``self`` and ``other``."""
+        return GaussianScene(
+            means=np.concatenate([self.means, other.means], axis=0),
+            scales=np.concatenate([self.scales, other.scales], axis=0),
+            quaternions=np.concatenate([self.quaternions, other.quaternions], axis=0),
+            opacities=np.concatenate([self.opacities, other.opacities], axis=0),
+            sh_coeffs=np.concatenate([self.sh_coeffs, other.sh_coeffs], axis=0),
+            name=self.name,
+        )
+
+    def normalized_quaternions(self) -> np.ndarray:
+        """Return quaternions normalised to unit length, shape ``(N, 4)``."""
+        norms = np.linalg.norm(self.quaternions, axis=1, keepdims=True)
+        return self.quaternions / norms
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the world-space AABB ``(lo, hi)`` of the Gaussian centres."""
+        if self.num_gaussians == 0:
+            zero = np.zeros(3)
+            return zero, zero
+        return self.means.min(axis=0), self.means.max(axis=0)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, name: str = "empty") -> "GaussianScene":
+        """Return a scene containing zero Gaussians."""
+        return cls(
+            means=np.zeros((0, 3)),
+            scales=np.zeros((0, 3)),
+            quaternions=np.zeros((0, 4)),
+            opacities=np.zeros((0,)),
+            sh_coeffs=np.zeros((0, 3, SH_COEFFS_PER_CHANNEL)),
+            name=name,
+        )
+
+    @classmethod
+    def from_flat_colors(
+        cls,
+        means: np.ndarray,
+        scales: np.ndarray,
+        quaternions: np.ndarray,
+        opacities: np.ndarray,
+        rgb: np.ndarray,
+        name: str = "scene",
+    ) -> "GaussianScene":
+        """Build a scene whose colour is view-independent.
+
+        Only the DC (degree-0) SH coefficient is populated, which is the
+        standard way to encode a constant RGB colour in a 3DGS model.
+        """
+        from repro.gaussians.sh import SH_C0
+
+        rgb = np.asarray(rgb, dtype=np.float64)
+        n = rgb.shape[0]
+        sh = np.zeros((n, 3, SH_COEFFS_PER_CHANNEL))
+        # colour = SH_C0 * c0 + 0.5  =>  c0 = (colour - 0.5) / SH_C0
+        sh[:, :, 0] = (rgb - 0.5) / SH_C0
+        return cls(
+            means=means,
+            scales=scales,
+            quaternions=quaternions,
+            opacities=opacities,
+            sh_coeffs=sh,
+            name=name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GaussianScene(name={self.name!r}, num_gaussians={self.num_gaussians}, "
+            f"bytes={self.total_bytes})"
+        )

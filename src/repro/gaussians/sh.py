@@ -1,0 +1,148 @@
+"""Real spherical harmonics evaluation (degree 0-3).
+
+3DGS stores view-dependent colour as 16 real spherical harmonic (SH)
+coefficients per colour channel (48 per Gaussian).  Given the normalised view
+direction ``v = (x, y, z)`` from camera to Gaussian, the colour of one channel
+is Equation (2) of the paper:
+
+    C = sum_l sum_m  c_{l,m} * Y_{l,m}(x, y, z)
+
+plus the conventional ``+0.5`` offset and clamping used by the reference 3DGS
+implementation.  The constants below are the standard real-SH constants used
+by the original 3DGS CUDA rasteriser and by ``gsplat``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of SH coefficients per colour channel at degree 3.
+SH_COEFFS_PER_CHANNEL = 16
+
+# Degree-0 constant.
+SH_C0 = 0.28209479177387814
+# Degree-1 constants.
+SH_C1 = 0.4886025119029199
+# Degree-2 constants.
+SH_C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+# Degree-3 constants.
+SH_C3 = (
+    -0.5900435899266435,
+    2.890611442640554,
+    -0.4570457994644658,
+    0.3731763325901154,
+    -0.4570457994644658,
+    1.445305721320277,
+    -0.5900435899266435,
+)
+
+
+def sh_basis(directions: np.ndarray, degree: int = 3) -> np.ndarray:
+    """Evaluate the real SH basis functions for unit ``directions``.
+
+    Parameters
+    ----------
+    directions:
+        ``(N, 3)`` array of *normalised* view directions.
+    degree:
+        Maximum SH degree in ``[0, 3]``.
+
+    Returns
+    -------
+    ``(N, (degree + 1)**2)`` array of basis values, ordered exactly as the
+    3DGS reference implementation orders its coefficients.
+    """
+    if degree < 0 or degree > 3:
+        raise ValueError(f"degree must be in [0, 3], got {degree}")
+    directions = np.asarray(directions, dtype=np.float64)
+    if directions.ndim == 1:
+        directions = directions[None, :]
+    n = directions.shape[0]
+    x, y, z = directions[:, 0], directions[:, 1], directions[:, 2]
+
+    num_coeffs = (degree + 1) ** 2
+    basis = np.zeros((n, num_coeffs), dtype=np.float64)
+    basis[:, 0] = SH_C0
+    if degree >= 1:
+        basis[:, 1] = -SH_C1 * y
+        basis[:, 2] = SH_C1 * z
+        basis[:, 3] = -SH_C1 * x
+    if degree >= 2:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        basis[:, 4] = SH_C2[0] * xy
+        basis[:, 5] = SH_C2[1] * yz
+        basis[:, 6] = SH_C2[2] * (2.0 * zz - xx - yy)
+        basis[:, 7] = SH_C2[3] * xz
+        basis[:, 8] = SH_C2[4] * (xx - yy)
+    if degree >= 3:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        basis[:, 9] = SH_C3[0] * y * (3.0 * xx - yy)
+        basis[:, 10] = SH_C3[1] * xy * z
+        basis[:, 11] = SH_C3[2] * y * (4.0 * zz - xx - yy)
+        basis[:, 12] = SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy)
+        basis[:, 13] = SH_C3[4] * x * (4.0 * zz - xx - yy)
+        basis[:, 14] = SH_C3[5] * z * (xx - yy)
+        basis[:, 15] = SH_C3[6] * x * (xx - 3.0 * yy)
+    return basis
+
+
+def evaluate_sh_colors(
+    sh_coeffs: np.ndarray,
+    directions: np.ndarray,
+    degree: int = 3,
+    clamp: bool = True,
+) -> np.ndarray:
+    """Evaluate per-Gaussian RGB colours from SH coefficients.
+
+    Parameters
+    ----------
+    sh_coeffs:
+        ``(N, 3, 16)`` coefficient array (16 coefficients per channel).
+    directions:
+        ``(N, 3)`` view directions (camera position to Gaussian mean).  They
+        are normalised internally.
+    degree:
+        SH degree to evaluate; coefficients beyond the requested degree are
+        ignored, matching 3DGS's progressive-degree training schedule.
+    clamp:
+        When true (the default, matching the reference rasteriser), colours
+        are offset by ``+0.5`` and clamped to be non-negative.
+
+    Returns
+    -------
+    ``(N, 3)`` array of RGB colours.
+    """
+    sh_coeffs = np.asarray(sh_coeffs, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    if directions.ndim == 1:
+        directions = directions[None, :]
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    unit = directions / norms
+
+    basis = sh_basis(unit, degree=degree)  # (N, K)
+    k = basis.shape[1]
+    colors = np.einsum("nck,nk->nc", sh_coeffs[:, :, :k], basis)
+    if clamp:
+        colors = np.maximum(colors + 0.5, 0.0)
+    return colors
+
+
+def count_sh_flops(num_gaussians: int, degree: int = 3) -> int:
+    """Approximate multiply-add count for SH colour evaluation.
+
+    Used by the hardware models to account compute energy: each coefficient
+    contributes one multiply-accumulate per channel, plus the basis
+    polynomial evaluation (counted once per Gaussian, ~30 ops at degree 3).
+    """
+    num_coeffs = (degree + 1) ** 2
+    basis_ops = {0: 1, 1: 6, 2: 18, 3: 34}[degree]
+    return num_gaussians * (3 * num_coeffs + basis_ops)

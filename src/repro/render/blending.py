@@ -1,0 +1,83 @@
+"""Alpha computation and front-to-back blending primitives (Equations 3, 4, 9).
+
+These helpers are shared by both rasterisers.  They operate on flat arrays of
+pixel offsets so the callers can blend arbitrary pixel sets: full 16x16 tiles
+for the standard dataflow, 8x8 blocks for GCC's Alpha/Blending Units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.covariance import mahalanobis_sq
+from repro.render.common import ALPHA_MAX, ALPHA_MIN
+
+
+def compute_alpha(
+    conic: np.ndarray,
+    opacity: float,
+    dx: np.ndarray,
+    dy: np.ndarray,
+    alpha_min: float = ALPHA_MIN,
+    alpha_max: float = ALPHA_MAX,
+) -> np.ndarray:
+    """Per-pixel alpha of one Gaussian (Equation 9).
+
+    Values below ``alpha_min`` are zeroed (they are excluded from blending,
+    matching the reference rasteriser and the paper's 1/255 criterion);
+    values above ``alpha_max`` are clamped.
+    """
+    power = -0.5 * mahalanobis_sq(conic, dx, dy)
+    alpha = opacity * np.exp(power)
+    alpha = np.minimum(alpha, alpha_max)
+    return np.where(alpha < alpha_min, 0.0, alpha)
+
+
+def blend_pixels(
+    color_accum: np.ndarray,
+    transmittance: np.ndarray,
+    alpha: np.ndarray,
+    color: np.ndarray,
+    transmittance_eps: float,
+) -> int:
+    """Blend one Gaussian's contribution into a set of pixels, in place.
+
+    Parameters
+    ----------
+    color_accum:
+        ``(P, 3)`` accumulated colour for the target pixels (modified).
+    transmittance:
+        ``(P,)`` accumulated transmittance for the target pixels (modified).
+    alpha:
+        ``(P,)`` this Gaussian's alpha at each pixel (zero where it does not
+        contribute).
+    color:
+        ``(3,)`` the Gaussian's RGB colour.
+    transmittance_eps:
+        Early-termination threshold: pixels whose transmittance is already
+        below this value are skipped.
+
+    Returns
+    -------
+    The number of pixels that actually received a contribution.  The caller
+    uses this both to mark the Gaussian as "rendered" and to count blending
+    work for the hardware models.
+    """
+    active = (alpha > 0.0) & (transmittance > transmittance_eps)
+    count = int(np.count_nonzero(active))
+    if count == 0:
+        return 0
+    weight = transmittance[active] * alpha[active]
+    color_accum[active] += weight[:, None] * color[None, :]
+    transmittance[active] *= 1.0 - alpha[active]
+    return count
+
+
+def finalize_image(
+    color_accum: np.ndarray,
+    transmittance: np.ndarray,
+    background: tuple[float, float, float],
+) -> np.ndarray:
+    """Composite the accumulated colour over the background colour."""
+    background_arr = np.asarray(background, dtype=np.float64)
+    return color_accum + transmittance[..., None] * background_arr

@@ -1,0 +1,167 @@
+"""Gaussian footprint analysis: AABB, OBB and alpha-exact pixel regions.
+
+This module backs Table 1 and Figure 4 of the paper, which compare the number
+of pixels processed per Gaussian under:
+
+* the axis-aligned bounding box (AABB) of the 3-sigma ellipse,
+* the oriented bounding box (OBB) used by GSCore,
+* the alpha-exact elliptical footprint governed by the 1/255 threshold
+  (what GCC's alpha-based boundary identification converges to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.covariance import mahalanobis_sq
+from repro.render.common import ALPHA_MIN
+from repro.render.preprocess import ProjectedGaussians
+
+
+@dataclass(frozen=True)
+class FootprintCounts:
+    """Pixel counts for one Gaussian (or summed over a frame)."""
+
+    aabb: int
+    obb: int
+    alpha: int
+
+    def __add__(self, other: "FootprintCounts") -> "FootprintCounts":
+        return FootprintCounts(
+            aabb=self.aabb + other.aabb,
+            obb=self.obb + other.obb,
+            alpha=self.alpha + other.alpha,
+        )
+
+
+def _clip_box(
+    x_min: float, x_max: float, y_min: float, y_max: float, width: int, height: int
+) -> tuple[int, int, int, int] | None:
+    """Clip a float box to integer pixel bounds; return ``None`` if empty."""
+    x0 = max(int(np.floor(x_min)), 0)
+    x1 = min(int(np.ceil(x_max)), width - 1)
+    y0 = max(int(np.floor(y_min)), 0)
+    y1 = min(int(np.ceil(y_max)), height - 1)
+    if x0 > x1 or y0 > y1:
+        return None
+    return x0, x1, y0, y1
+
+
+def obb_axes(cov2d: np.ndarray) -> tuple[np.ndarray, np.ndarray, float, float]:
+    """Principal axes and half-lengths of the 3-sigma oriented bounding box.
+
+    Returns ``(axis_major, axis_minor, half_major, half_minor)`` where the
+    axes are unit vectors in pixel space.
+    """
+    cov2d = np.asarray(cov2d, dtype=np.float64)
+    eigvals, eigvecs = np.linalg.eigh(cov2d)
+    # eigh returns ascending order; the major axis is the last column.
+    lam_minor, lam_major = max(eigvals[0], 0.0), max(eigvals[1], 0.0)
+    axis_major = eigvecs[:, 1]
+    axis_minor = eigvecs[:, 0]
+    return axis_major, axis_minor, 3.0 * np.sqrt(lam_major), 3.0 * np.sqrt(lam_minor)
+
+
+def count_footprint_pixels(
+    mean2d: np.ndarray,
+    cov2d: np.ndarray,
+    conic: np.ndarray,
+    opacity: float,
+    width: int,
+    height: int,
+    alpha_min: float = ALPHA_MIN,
+) -> FootprintCounts:
+    """Count pixels inside the AABB, OBB and alpha-exact region of one Gaussian.
+
+    All three regions are evaluated on the same integer pixel grid clipped to
+    the image, so the counts are directly comparable (Table 1 of the paper).
+    """
+    axis_major, axis_minor, half_major, half_minor = obb_axes(cov2d)
+    if half_major <= 0.0:
+        return FootprintCounts(0, 0, 0)
+
+    # AABB of the 3-sigma ellipse (the conventional method).
+    extent_x = abs(axis_major[0]) * half_major + abs(axis_minor[0]) * half_minor
+    extent_y = abs(axis_major[1]) * half_major + abs(axis_minor[1]) * half_minor
+    box = _clip_box(
+        mean2d[0] - extent_x,
+        mean2d[0] + extent_x,
+        mean2d[1] - extent_y,
+        mean2d[1] + extent_y,
+        width,
+        height,
+    )
+    if box is None:
+        return FootprintCounts(0, 0, 0)
+    x0, x1, y0, y1 = box
+
+    xs = np.arange(x0, x1 + 1)
+    ys = np.arange(y0, y1 + 1)
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    dx = grid_x.astype(np.float64) - mean2d[0]
+    dy = grid_y.astype(np.float64) - mean2d[1]
+    aabb_count = int(dx.size)
+
+    # OBB membership: |projection on each axis| within the half-lengths.
+    proj_major = dx * axis_major[0] + dy * axis_major[1]
+    proj_minor = dx * axis_minor[0] + dy * axis_minor[1]
+    inside_obb = (np.abs(proj_major) <= half_major) & (np.abs(proj_minor) <= half_minor)
+    obb_count = int(np.count_nonzero(inside_obb))
+
+    # Alpha-exact region: alpha >= alpha_min, i.e. Mahalanobis^2 <= 2 ln(w/alpha_min).
+    if opacity < alpha_min:
+        alpha_count = 0
+    else:
+        chi2 = 2.0 * np.log(opacity / alpha_min)
+        maha = mahalanobis_sq(conic[None, :], dx, dy)
+        alpha_count = int(np.count_nonzero(maha <= chi2))
+
+    return FootprintCounts(aabb=aabb_count, obb=obb_count, alpha=alpha_count)
+
+
+def frame_footprint_counts(
+    projected: ProjectedGaussians,
+    width: int,
+    height: int,
+    alpha_min: float = ALPHA_MIN,
+) -> FootprintCounts:
+    """Sum footprint pixel counts over every visible Gaussian of a frame."""
+    total = FootprintCounts(0, 0, 0)
+    for i in range(projected.num_visible):
+        total = total + count_footprint_pixels(
+            projected.means2d[i],
+            projected.cov2d[i],
+            projected.conics[i],
+            float(projected.opacities[i]),
+            width,
+            height,
+            alpha_min=alpha_min,
+        )
+    return total
+
+
+def alpha_footprint_mask(
+    mean2d: np.ndarray,
+    conic: np.ndarray,
+    opacity: float,
+    width: int,
+    height: int,
+    alpha_min: float = ALPHA_MIN,
+) -> np.ndarray:
+    """Boolean ``(height, width)`` mask of the alpha-exact footprint.
+
+    This is the brute-force reference the BFS boundary identification
+    (Algorithm 1) is property-tested against.
+    """
+    xs = np.arange(width, dtype=np.float64)
+    ys = np.arange(height, dtype=np.float64)
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    dx = grid_x - mean2d[0]
+    dy = grid_y - mean2d[1]
+    if opacity < alpha_min:
+        return np.zeros((height, width), dtype=bool)
+    chi2 = 2.0 * np.log(opacity / alpha_min)
+    maha = mahalanobis_sq(np.asarray(conic)[None, :], dx, dy)
+    return maha <= chi2

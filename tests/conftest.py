@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Tests run on deliberately tiny scenes (hundreds of Gaussians, <=128 px
+images) so the whole suite stays fast; the statistical behaviour the paper
+relies on is checked at those scales and the full-scale shapes are exercised
+by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.model import GaussianScene
+from repro.gaussians.synthetic import make_camera, make_scene
+
+
+@pytest.fixture(scope="session")
+def smoke_scene() -> GaussianScene:
+    """A small clustered scene (a few hundred Gaussians)."""
+    return make_scene("smoke", scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def smoke_camera() -> Camera:
+    """The default camera for the smoke scene (128x128)."""
+    return make_camera("smoke", image_scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def small_lego_scene() -> GaussianScene:
+    """A reduced Lego-like scene used by integration tests."""
+    return make_scene("lego", scale=0.004)
+
+
+@pytest.fixture(scope="session")
+def small_lego_camera() -> Camera:
+    """A reduced-resolution camera for the small Lego scene."""
+    return make_camera("lego", image_scale=0.1)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic random generator for ad-hoc test data."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def single_gaussian_scene() -> GaussianScene:
+    """One opaque Gaussian in front of the default camera."""
+    return GaussianScene.from_flat_colors(
+        means=np.array([[0.0, 0.0, 0.0]]),
+        scales=np.array([[0.15, 0.15, 0.15]]),
+        quaternions=np.array([[1.0, 0.0, 0.0, 0.0]]),
+        opacities=np.array([0.9]),
+        rgb=np.array([[0.2, 0.6, 0.9]]),
+        name="single",
+    )
+
+
+@pytest.fixture()
+def front_camera() -> Camera:
+    """A 64x64 camera 3 units in front of the origin, looking at it."""
+    return Camera.from_fov(
+        width=64,
+        height=64,
+        fov_y_degrees=60.0,
+        world_to_camera=look_at(np.array([0.0, 0.0, -3.0]), np.array([0.0, 0.0, 0.0])),
+    )

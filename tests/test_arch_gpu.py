@@ -1,0 +1,77 @@
+"""Tests for the analytical GPU model (Discussion section / Figure 15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.gpu import (
+    GPU_PRESETS,
+    JETSON_XAVIER,
+    RTX_3090,
+    gcc_dataflow_breakdown,
+    standard_dataflow_breakdown,
+)
+from repro.render.gaussian_raster import render_gaussianwise
+from repro.render.tile_raster import render_tilewise
+
+
+@pytest.fixture(scope="module")
+def stats_pair():
+    from repro.gaussians.synthetic import make_camera, make_scene
+
+    scene = make_scene("train", scale=0.002)
+    camera = make_camera("train", image_scale=0.1)
+    return render_tilewise(scene, camera).stats, render_gaussianwise(scene, camera).stats
+
+
+class TestPresets:
+    def test_presets_registered(self):
+        assert GPU_PRESETS["rtx3090"] is RTX_3090
+        assert GPU_PRESETS["jetson"] is JETSON_XAVIER
+
+    def test_desktop_gpu_is_faster_than_embedded(self):
+        assert RTX_3090.flops > JETSON_XAVIER.flops
+        assert RTX_3090.bandwidth > JETSON_XAVIER.bandwidth
+
+
+class TestBreakdowns:
+    def test_stage_times_are_positive_and_sum(self, stats_pair):
+        tile_stats, _ = stats_pair
+        breakdown = standard_dataflow_breakdown(tile_stats, RTX_3090)
+        assert breakdown.total > 0
+        shares = breakdown.normalized()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_render_dominates_on_embedded_gpu(self, stats_pair):
+        # The paper's first observation: rendering dominates GPU execution
+        # (most visible on the bandwidth-starved embedded platform).
+        tile_stats, _ = stats_pair
+        shares = standard_dataflow_breakdown(tile_stats, JETSON_XAVIER).normalized()
+        assert shares["render"] == max(shares.values())
+
+    def test_gcc_dataflow_render_is_slower_on_gpu(self, stats_pair):
+        # The paper's second observation: Gaussian-parallel blending needs
+        # atomics, so the GCC dataflow's render stage gets slower on a GPU.
+        tile_stats, gauss_stats = stats_pair
+        standard = standard_dataflow_breakdown(tile_stats, RTX_3090)
+        gcc = gcc_dataflow_breakdown(gauss_stats, RTX_3090)
+        assert gcc.render > standard.render
+
+    def test_gcc_dataflow_reduces_preprocess_time(self, stats_pair):
+        tile_stats, gauss_stats = stats_pair
+        standard = standard_dataflow_breakdown(tile_stats, JETSON_XAVIER)
+        gcc = gcc_dataflow_breakdown(gauss_stats, JETSON_XAVIER)
+        assert gcc.preprocess <= standard.preprocess * 1.05
+
+    def test_jetson_is_slower_than_rtx(self, stats_pair):
+        tile_stats, _ = stats_pair
+        rtx = standard_dataflow_breakdown(tile_stats, RTX_3090)
+        jetson = standard_dataflow_breakdown(tile_stats, JETSON_XAVIER)
+        assert jetson.total > rtx.total
+
+    def test_normalized_against_reference_total(self, stats_pair):
+        tile_stats, gauss_stats = stats_pair
+        standard = standard_dataflow_breakdown(tile_stats, RTX_3090)
+        gcc = gcc_dataflow_breakdown(gauss_stats, RTX_3090)
+        shares = gcc.normalized(standard.total)
+        assert sum(shares.values()) == pytest.approx(gcc.total / standard.total)

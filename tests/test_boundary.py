@@ -1,0 +1,156 @@
+"""Tests for alpha-based boundary identification (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render.bounds import alpha_footprint_mask
+from repro.render.boundary import identify_influence_blocks, identify_influence_pixels
+
+# Strategy: well-conditioned conics (inverse covariances) and centres near a
+# small image so the footprint interacts with the image boundary sometimes.
+conic_strategy = st.tuples(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=-0.05, max_value=0.05),
+    st.floats(min_value=0.01, max_value=1.0),
+).filter(lambda c: c[0] * c[2] - c[1] * c[1] > 1e-4)
+
+centre_strategy = st.tuples(
+    st.floats(min_value=-10.0, max_value=74.0),
+    st.floats(min_value=-10.0, max_value=74.0),
+)
+
+opacity_strategy = st.floats(min_value=0.01, max_value=1.0)
+
+
+class TestPixelLevelAlgorithm1:
+    @given(conic=conic_strategy, centre=centre_strategy, opacity=opacity_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_mask_is_subset_of_brute_force_footprint(self, conic, centre, opacity):
+        width = height = 64
+        mask, _ = identify_influence_pixels(
+            np.array(centre), np.array(conic), opacity, width, height
+        )
+        brute = alpha_footprint_mask(np.array(centre), np.array(conic), opacity, width, height)
+        assert np.all(~mask | brute)
+
+    @given(conic=conic_strategy, opacity=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_matches_brute_force_when_centre_is_inside_image(self, conic, opacity):
+        # With the centre inside the image, the footprint is connected and
+        # contains the start pixel, so BFS must recover it exactly.
+        width = height = 64
+        centre = np.array([31.7, 30.2])
+        mask, evaluations = identify_influence_pixels(
+            centre, np.array(conic), opacity, width, height
+        )
+        brute = alpha_footprint_mask(centre, np.array(conic), opacity, width, height)
+        assert np.array_equal(mask, brute)
+        # The BFS should not evaluate dramatically more pixels than the
+        # footprint plus its one-pixel boundary ring.
+        assert evaluations <= brute.sum() * 4 + 64
+
+    def test_sub_threshold_opacity_gives_empty_mask(self):
+        mask, evaluations = identify_influence_pixels(
+            np.array([16.0, 16.0]), np.array([0.1, 0.0, 0.1]), 1.0 / 1000.0, 32, 32
+        )
+        assert not mask.any()
+        assert evaluations == 0
+
+    def test_degenerate_image_dimensions(self):
+        mask, evaluations = identify_influence_pixels(
+            np.array([0.0, 0.0]), np.array([0.1, 0.0, 0.1]), 0.9, 0, 0
+        )
+        assert mask.size == 0
+
+
+class TestBlockLevelIdentification:
+    def test_blocks_cover_every_influenced_pixel(self):
+        width = height = 64
+        centre = np.array([30.0, 28.0])
+        conic = np.array([0.05, 0.01, 0.08])
+        opacity = 0.9
+        result = identify_influence_blocks(centre, conic, opacity, width, height, block_size=8)
+        brute = alpha_footprint_mask(centre, conic, opacity, width, height)
+        covered = np.zeros_like(brute)
+        for by, bx in result.blocks:
+            covered[by * 8 : (by + 1) * 8, bx * 8 : (bx + 1) * 8] = True
+        assert np.all(~brute | covered)
+
+    def test_visited_blocks_bounded_by_footprint_plus_ring(self):
+        width = height = 128
+        centre = np.array([64.0, 64.0])
+        conic = np.array([0.02, 0.0, 0.02])
+        result = identify_influence_blocks(centre, conic, 1.0, width, height, block_size=8)
+        assert result.blocks_visited <= len(result.blocks) * 3 + 8
+
+    def test_low_opacity_shrinks_block_set(self):
+        width = height = 128
+        centre = np.array([64.0, 64.0])
+        conic = np.array([0.02, 0.0, 0.02])
+        high = identify_influence_blocks(centre, conic, 1.0, width, height, block_size=8)
+        low = identify_influence_blocks(centre, conic, 0.02, width, height, block_size=8)
+        assert len(low.blocks) < len(high.blocks)
+
+    def test_saturated_blocks_are_skipped_but_traversal_continues(self):
+        width = height = 64
+        centre = np.array([32.0, 32.0])
+        conic = np.array([0.01, 0.0, 0.01])
+        blocks_y = blocks_x = 8
+        saturated = np.zeros((blocks_y, blocks_x), dtype=bool)
+        saturated[4, 4] = True  # the centre block is saturated
+        result = identify_influence_blocks(
+            centre, conic, 1.0, width, height, block_size=8, saturated_blocks=saturated
+        )
+        assert result.blocks_skipped_tmask >= 1
+        assert (4, 4) not in result.blocks
+        # Neighbouring blocks are still reached through the saturated one.
+        assert len(result.blocks) > 0
+
+    def test_fully_saturated_mask_returns_no_blocks(self):
+        width = height = 32
+        saturated = np.ones((4, 4), dtype=bool)
+        result = identify_influence_blocks(
+            np.array([16.0, 16.0]), np.array([0.05, 0.0, 0.05]), 0.9,
+            width, height, block_size=8, saturated_blocks=saturated,
+        )
+        assert result.blocks == []
+        assert result.blocks_skipped_tmask > 0
+
+    def test_offscreen_centre_starts_from_nearest_block(self):
+        width = height = 64
+        centre = np.array([-20.0, 10.0])
+        conic = np.array([0.002, 0.0, 0.002])  # very large footprint
+        result = identify_influence_blocks(centre, conic, 1.0, width, height, block_size=8)
+        assert len(result.blocks) > 0
+
+    def test_sub_threshold_opacity_returns_empty(self):
+        result = identify_influence_blocks(
+            np.array([16.0, 16.0]), np.array([0.1, 0.0, 0.1]), 1e-4, 32, 32, block_size=8
+        )
+        assert result.blocks == []
+        assert result.blocks_visited == 0
+
+    @given(
+        conic=conic_strategy,
+        opacity=st.floats(min_value=0.05, max_value=1.0),
+        block_size=st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_blocks_cover_footprint(self, conic, opacity, block_size):
+        width = height = 64
+        centre = np.array([33.0, 29.5])
+        result = identify_influence_blocks(
+            centre, np.array(conic), opacity, width, height, block_size=block_size
+        )
+        brute = alpha_footprint_mask(centre, np.array(conic), opacity, width, height)
+        covered = np.zeros_like(brute)
+        for by, bx in result.blocks:
+            covered[by * block_size : (by + 1) * block_size, bx * block_size : (bx + 1) * block_size] = True
+        missed = brute & ~covered
+        # Convex footprints with the centre inside the image must be fully
+        # covered by the identified blocks.
+        assert not missed.any()

@@ -1,0 +1,111 @@
+"""Tests for AABB/OBB/alpha footprint analysis (Table 1 / Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.render.bounds import (
+    alpha_footprint_mask,
+    count_footprint_pixels,
+    frame_footprint_counts,
+    obb_axes,
+)
+from repro.render.preprocess import project_scene
+
+
+def _projected_single(opacity: float, front_camera, aspect: float = 3.0):
+    from repro.gaussians.synthetic import make_single_gaussian_scene
+
+    scene = make_single_gaussian_scene(opacity=opacity, scale=0.2, aspect=aspect)
+    projected = project_scene(scene, front_camera)
+    assert projected.num_visible == 1
+    return projected
+
+
+class TestObbAxes:
+    def test_axes_are_orthonormal(self, rng):
+        mats = rng.normal(size=(2, 2))
+        cov = mats @ mats.T + 0.1 * np.eye(2)
+        major, minor, half_major, half_minor = obb_axes(cov)
+        assert np.dot(major, minor) == pytest.approx(0.0, abs=1e-9)
+        assert np.linalg.norm(major) == pytest.approx(1.0)
+        assert half_major >= half_minor
+
+    def test_half_lengths_follow_eigenvalues(self):
+        cov = np.diag([16.0, 4.0])
+        _, _, half_major, half_minor = obb_axes(cov)
+        assert half_major == pytest.approx(12.0)
+        assert half_minor == pytest.approx(6.0)
+
+
+class TestFootprintCounts:
+    def test_obb_is_no_larger_than_aabb(self, front_camera):
+        projected = _projected_single(0.9, front_camera)
+        counts = count_footprint_pixels(
+            projected.means2d[0], projected.cov2d[0], projected.conics[0], 0.9,
+            front_camera.width, front_camera.height,
+        )
+        assert counts.obb <= counts.aabb
+        assert counts.aabb > 0
+
+    def test_alpha_region_shrinks_with_opacity(self, front_camera):
+        high = _projected_single(1.0, front_camera)
+        low = _projected_single(0.01, front_camera)
+        counts_high = count_footprint_pixels(
+            high.means2d[0], high.cov2d[0], high.conics[0], 1.0,
+            front_camera.width, front_camera.height,
+        )
+        counts_low = count_footprint_pixels(
+            low.means2d[0], low.cov2d[0], low.conics[0], 0.01,
+            front_camera.width, front_camera.height,
+        )
+        # AABB/OBB are opacity-independent; the alpha-exact region is not.
+        assert counts_low.aabb == counts_high.aabb
+        assert counts_low.obb == counts_high.obb
+        assert counts_low.alpha < counts_high.alpha
+
+    def test_opacity_below_threshold_gives_empty_alpha_region(self, front_camera):
+        projected = _projected_single(0.9, front_camera)
+        counts = count_footprint_pixels(
+            projected.means2d[0], projected.cov2d[0], projected.conics[0], 1.0 / 1000.0,
+            front_camera.width, front_camera.height,
+        )
+        assert counts.alpha == 0
+
+    def test_counts_add(self):
+        from repro.render.bounds import FootprintCounts
+
+        total = FootprintCounts(1, 2, 3) + FootprintCounts(10, 20, 30)
+        assert (total.aabb, total.obb, total.alpha) == (11, 22, 33)
+
+    def test_frame_counts_sum_over_gaussians(self, smoke_scene, smoke_camera):
+        projected = project_scene(smoke_scene, smoke_camera)
+        counts = frame_footprint_counts(projected, smoke_camera.width, smoke_camera.height)
+        assert counts.aabb >= counts.obb >= 0
+        assert counts.aabb >= counts.alpha >= 0
+        assert counts.aabb > 0
+
+
+class TestAlphaFootprintMask:
+    def test_mask_matches_counted_pixels(self, front_camera):
+        projected = _projected_single(0.8, front_camera)
+        counts = count_footprint_pixels(
+            projected.means2d[0], projected.cov2d[0], projected.conics[0], 0.8,
+            front_camera.width, front_camera.height,
+        )
+        mask = alpha_footprint_mask(
+            projected.means2d[0], projected.conics[0], 0.8,
+            front_camera.width, front_camera.height,
+        )
+        assert int(mask.sum()) == counts.alpha
+
+    def test_mask_contains_projected_centre_for_opaque_gaussian(self, front_camera):
+        projected = _projected_single(1.0, front_camera)
+        mask = alpha_footprint_mask(
+            projected.means2d[0], projected.conics[0], 1.0,
+            front_camera.width, front_camera.height,
+        )
+        cx = int(round(projected.means2d[0, 0]))
+        cy = int(round(projected.means2d[0, 1]))
+        assert mask[cy, cx]

@@ -1,0 +1,138 @@
+"""Tests for covariance construction and EWA projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.covariance import (
+    build_covariance_3d,
+    covariance_2d_eigenvalues,
+    invert_covariance_2d,
+    mahalanobis_sq,
+    perspective_jacobian,
+    project_covariance_2d,
+    quaternion_to_rotation_matrix,
+)
+
+quaternions = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False), min_size=4, max_size=4
+).filter(lambda q: np.linalg.norm(q) > 1e-3)
+
+scales = st.lists(
+    st.floats(min_value=1e-3, max_value=10.0, allow_nan=False), min_size=3, max_size=3
+)
+
+
+class TestQuaternionRotation:
+    def test_identity_quaternion_gives_identity_matrix(self):
+        rot = quaternion_to_rotation_matrix(np.array([[1.0, 0.0, 0.0, 0.0]]))
+        assert np.allclose(rot[0], np.eye(3))
+
+    def test_unnormalised_quaternion_is_normalised(self):
+        rot_a = quaternion_to_rotation_matrix(np.array([[1.0, 0.0, 0.0, 0.0]]))
+        rot_b = quaternion_to_rotation_matrix(np.array([[7.0, 0.0, 0.0, 0.0]]))
+        assert np.allclose(rot_a, rot_b)
+
+    def test_z_rotation_by_90_degrees(self):
+        half = np.pi / 4
+        quat = np.array([[np.cos(half), 0.0, 0.0, np.sin(half)]])
+        rot = quaternion_to_rotation_matrix(quat)[0]
+        rotated = rot @ np.array([1.0, 0.0, 0.0])
+        assert np.allclose(rotated, [0.0, 1.0, 0.0], atol=1e-12)
+
+    @given(quaternion=quaternions)
+    @settings(max_examples=50, deadline=None)
+    def test_rotation_matrices_are_orthonormal(self, quaternion):
+        rot = quaternion_to_rotation_matrix(np.array([quaternion]))[0]
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(rot) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCovariance3d:
+    def test_identity_rotation_gives_diagonal_covariance(self):
+        cov = build_covariance_3d(np.array([[1.0, 2.0, 3.0]]), np.array([[1.0, 0.0, 0.0, 0.0]]))
+        assert np.allclose(cov[0], np.diag([1.0, 4.0, 9.0]))
+
+    @given(quaternion=quaternions, scale=scales)
+    @settings(max_examples=50, deadline=None)
+    def test_covariance_is_symmetric_positive_semidefinite(self, quaternion, scale):
+        cov = build_covariance_3d(np.array([scale]), np.array([quaternion]))[0]
+        assert np.allclose(cov, cov.T, atol=1e-9)
+        eigvals = np.linalg.eigvalsh(cov)
+        assert np.all(eigvals >= -1e-9)
+
+    @given(quaternion=quaternions, scale=scales)
+    @settings(max_examples=50, deadline=None)
+    def test_determinant_equals_product_of_squared_scales(self, quaternion, scale):
+        cov = build_covariance_3d(np.array([scale]), np.array([quaternion]))[0]
+        expected = float(np.prod(np.array(scale) ** 2))
+        assert np.linalg.det(cov) == pytest.approx(expected, rel=1e-6)
+
+
+class TestProjection2d:
+    def test_isotropic_gaussian_projects_isotropically(self):
+        cov3d = build_covariance_3d(np.array([[0.5, 0.5, 0.5]]), np.array([[1.0, 0.0, 0.0, 0.0]]))
+        cam_points = np.array([[0.0, 0.0, 5.0]])
+        cov2d = project_covariance_2d(cov3d, cam_points, np.eye(3), fx=100.0, fy=100.0, dilation=0.0)
+        assert cov2d[0, 0, 0] == pytest.approx(cov2d[0, 1, 1], rel=1e-6)
+        assert cov2d[0, 0, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_projection_shrinks_with_distance(self):
+        cov3d = build_covariance_3d(np.array([[0.5, 0.5, 0.5]]), np.array([[1.0, 0.0, 0.0, 0.0]]))
+        near = project_covariance_2d(cov3d, np.array([[0.0, 0.0, 2.0]]), np.eye(3), 100.0, 100.0, dilation=0.0)
+        far = project_covariance_2d(cov3d, np.array([[0.0, 0.0, 20.0]]), np.eye(3), 100.0, 100.0, dilation=0.0)
+        assert near[0, 0, 0] > far[0, 0, 0]
+
+    def test_dilation_adds_to_diagonal(self):
+        cov3d = build_covariance_3d(np.array([[0.5, 0.5, 0.5]]), np.array([[1.0, 0.0, 0.0, 0.0]]))
+        cam_points = np.array([[0.0, 0.0, 5.0]])
+        base = project_covariance_2d(cov3d, cam_points, np.eye(3), 100.0, 100.0, dilation=0.0)
+        dilated = project_covariance_2d(cov3d, cam_points, np.eye(3), 100.0, 100.0, dilation=0.3)
+        assert np.allclose(dilated[0] - base[0], 0.3 * np.eye(2), atol=1e-9)
+
+    def test_jacobian_shape_and_zero_entries(self):
+        jac = perspective_jacobian(np.array([[0.0, 0.0, 4.0]]), fx=50.0, fy=60.0)
+        assert jac.shape == (1, 2, 3)
+        assert jac[0, 0, 0] == pytest.approx(50.0 / 4.0)
+        assert jac[0, 1, 1] == pytest.approx(60.0 / 4.0)
+        assert jac[0, 0, 1] == 0.0
+        assert jac[0, 1, 0] == 0.0
+
+
+class TestEigenvaluesAndConics:
+    def test_eigenvalues_of_diagonal_matrix(self):
+        cov = np.array([[[4.0, 0.0], [0.0, 1.0]]])
+        lam1, lam2 = covariance_2d_eigenvalues(cov)
+        assert lam1[0] == pytest.approx(4.0)
+        assert lam2[0] == pytest.approx(1.0)
+
+    def test_eigenvalues_ordering(self, rng):
+        mats = rng.normal(size=(10, 2, 2))
+        covs = mats @ np.transpose(mats, (0, 2, 1))
+        lam1, lam2 = covariance_2d_eigenvalues(covs)
+        assert np.all(lam1 >= lam2 - 1e-12)
+
+    def test_conic_inverts_covariance(self):
+        cov = np.array([[[3.0, 0.5], [0.5, 2.0]]])
+        conic, valid = invert_covariance_2d(cov)
+        assert valid[0]
+        inverse = np.array([[conic[0, 0], conic[0, 1]], [conic[0, 1], conic[0, 2]]])
+        assert np.allclose(inverse @ cov[0], np.eye(2), atol=1e-9)
+
+    def test_degenerate_covariance_flagged_invalid(self):
+        cov = np.array([[[1.0, 1.0], [1.0, 1.0]]])
+        _, valid = invert_covariance_2d(cov)
+        assert not valid[0]
+
+    def test_mahalanobis_identity_conic_is_euclidean(self):
+        conic = np.array([1.0, 0.0, 1.0])
+        assert mahalanobis_sq(conic, 3.0, 4.0) == pytest.approx(25.0)
+
+    def test_mahalanobis_broadcasts_over_grids(self):
+        conic = np.array([1.0, 0.0, 1.0])
+        dx, dy = np.meshgrid(np.arange(3.0), np.arange(2.0))
+        out = mahalanobis_sq(conic[None, :], dx, dy)
+        assert out.shape == (2, 3)

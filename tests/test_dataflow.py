@@ -1,0 +1,105 @@
+"""Tests for the stage-structured dataflow API (Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataflow import GccDataflow, StandardDataflow
+from repro.dataflow.alphablend import FrameBuffers
+from repro.dataflow.colorsort import ColorSortStage
+from repro.dataflow.grouping import GroupingStage
+from repro.dataflow.projection import ProjectionStage
+from repro.render.common import RenderConfig
+from repro.render.gaussian_raster import render_gaussianwise
+from repro.render.metrics import psnr
+
+
+class TestGroupingStage:
+    def test_groups_cover_all_visible_gaussians(self, smoke_scene, smoke_camera):
+        result = GroupingStage().run(smoke_scene, smoke_camera)
+        total = sum(group.size for group in result.groups)
+        assert total == result.visible_indices.size
+        assert result.num_culled + result.visible_indices.size == smoke_scene.num_gaussians
+
+    def test_group_scene_indices_are_valid(self, smoke_scene, smoke_camera):
+        result = GroupingStage().run(smoke_scene, smoke_camera)
+        if result.num_groups:
+            indices = result.group_scene_indices(0)
+            assert np.all(indices < smoke_scene.num_gaussians)
+
+
+class TestProjectionAndColorStages:
+    def test_projection_stage_culls_offscreen(self, smoke_scene, smoke_camera):
+        grouping = GroupingStage().run(smoke_scene, smoke_camera)
+        geometry = ProjectionStage().run(
+            smoke_scene, smoke_camera, grouping.visible_indices
+        )
+        assert geometry.num_visible <= geometry.num_input
+
+    def test_color_stage_respects_needs_color_mask(self, smoke_scene, smoke_camera):
+        grouping = GroupingStage().run(smoke_scene, smoke_camera)
+        geometry = ProjectionStage().run(smoke_scene, smoke_camera, grouping.visible_indices)
+        needs = np.zeros(geometry.num_visible, dtype=bool)
+        needs[: geometry.num_visible // 2] = True
+        result = ColorSortStage().run(smoke_scene, smoke_camera, geometry, needs)
+        assert result.num_evaluated == int(needs.sum())
+        evaluated_rows = np.nonzero(needs)[0]
+        assert np.all(np.isfinite(result.colors[evaluated_rows]))
+        skipped_rows = np.nonzero(~needs)[0]
+        if skipped_rows.size:
+            assert np.all(np.isnan(result.colors[skipped_rows]))
+
+    def test_color_stage_rejects_bad_mask_shape(self, smoke_scene, smoke_camera):
+        grouping = GroupingStage().run(smoke_scene, smoke_camera)
+        geometry = ProjectionStage().run(smoke_scene, smoke_camera, grouping.visible_indices)
+        with pytest.raises(ValueError):
+            ColorSortStage().run(smoke_scene, smoke_camera, geometry, np.array([True]))
+
+    def test_sort_order_is_front_to_back(self, smoke_scene, smoke_camera):
+        grouping = GroupingStage().run(smoke_scene, smoke_camera)
+        geometry = ProjectionStage().run(smoke_scene, smoke_camera, grouping.visible_indices)
+        result = ColorSortStage().run(smoke_scene, smoke_camera, geometry)
+        sorted_depths = geometry.depths[result.order]
+        assert np.all(np.diff(sorted_depths) >= 0)
+
+
+class TestFrameBuffers:
+    def test_initial_state(self):
+        buffers = FrameBuffers(width=32, height=16, block_size=8)
+        assert buffers.color.shape == (16, 32, 3)
+        assert np.allclose(buffers.transmittance, 1.0)
+        assert buffers.saturated_blocks.shape == (2, 4)
+        assert not buffers.all_saturated
+
+    def test_finalize_applies_background(self):
+        buffers = FrameBuffers(width=4, height=4, block_size=8)
+        image = buffers.finalize((0.3, 0.3, 0.3))
+        assert np.allclose(image, 0.3)
+
+
+class TestFullPipelines:
+    def test_gcc_dataflow_matches_fused_renderer(self, smoke_scene, smoke_camera):
+        config = RenderConfig(radius_rule="omega-sigma")
+        staged = GccDataflow(config).run(smoke_scene, smoke_camera)
+        fused = render_gaussianwise(smoke_scene, smoke_camera, config)
+        assert np.allclose(staged.image, fused.image, atol=1e-9)
+
+    def test_gcc_dataflow_counters_are_consistent(self, smoke_scene, smoke_camera):
+        result = GccDataflow().run(smoke_scene, smoke_camera)
+        assert result.num_groups_processed + result.num_groups_skipped == result.num_groups
+        assert result.num_sh_evaluated <= result.num_screen_passed
+        assert result.num_rendered <= result.num_sh_evaluated
+        assert result.pixels_blended >= 0
+
+    def test_standard_dataflow_reports_unused_preprocessing(self, smoke_scene, smoke_camera):
+        result = StandardDataflow().run(smoke_scene, smoke_camera)
+        assert result.preprocessed_unused == (
+            result.stats.num_preprocessed - result.stats.num_rendered
+        )
+        assert result.image.shape == (smoke_camera.height, smoke_camera.width, 3)
+
+    def test_standard_and_gcc_dataflow_agree_visually(self, smoke_scene, smoke_camera):
+        standard = StandardDataflow().run(smoke_scene, smoke_camera)
+        gcc = GccDataflow().run(smoke_scene, smoke_camera)
+        assert psnr(standard.image, gcc.image) > 40.0

@@ -1,0 +1,116 @@
+"""Tests for the GCC-dataflow (Gaussian-wise) renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaussians.model import GaussianScene
+from repro.render.common import RenderConfig
+from repro.render.gaussian_raster import render_gaussianwise
+from repro.render.metrics import psnr
+from repro.render.tile_raster import render_tilewise
+
+
+class TestImageEquivalence:
+    def test_matches_tilewise_reference(self, smoke_scene, smoke_camera):
+        reference = render_tilewise(smoke_scene, smoke_camera).image
+        image = render_gaussianwise(smoke_scene, smoke_camera).image
+        # Table 2 of the paper: the dataflows are visually lossless relative
+        # to each other (PSNR differences below 0.1 dB on real scenes).
+        assert psnr(reference, image) > 40.0
+
+    def test_cc_does_not_change_the_image(self, smoke_scene, smoke_camera):
+        with_cc = render_gaussianwise(smoke_scene, smoke_camera, enable_cc=True).image
+        without_cc = render_gaussianwise(smoke_scene, smoke_camera, enable_cc=False).image
+        assert np.allclose(with_cc, without_cc, atol=1e-9)
+
+    def test_boundary_mode_does_not_change_the_image(self, smoke_scene, smoke_camera):
+        alpha_mode = render_gaussianwise(smoke_scene, smoke_camera, boundary_mode="alpha").image
+        aabb_mode = render_gaussianwise(smoke_scene, smoke_camera, boundary_mode="aabb").image
+        assert psnr(alpha_mode, aabb_mode) > 40.0
+
+    def test_block_size_does_not_change_the_image(self, smoke_scene, smoke_camera):
+        image_8 = render_gaussianwise(
+            smoke_scene, smoke_camera, RenderConfig(radius_rule="omega-sigma", block_size=8)
+        ).image
+        image_16 = render_gaussianwise(
+            smoke_scene, smoke_camera, RenderConfig(radius_rule="omega-sigma", block_size=16)
+        ).image
+        assert np.allclose(image_8, image_16, atol=1e-9)
+
+    def test_empty_scene(self, front_camera):
+        result = render_gaussianwise(GaussianScene.empty(), front_camera)
+        assert result.stats.num_rendered == 0
+        assert np.allclose(result.image, 0.0)
+
+    def test_invalid_boundary_mode_raises(self, smoke_scene, smoke_camera):
+        with pytest.raises(ValueError):
+            render_gaussianwise(smoke_scene, smoke_camera, boundary_mode="obb")
+
+
+class TestStatisticsConsistency:
+    def test_counts_are_internally_consistent(self, smoke_scene, smoke_camera):
+        stats = render_gaussianwise(smoke_scene, smoke_camera).stats
+        assert stats.num_total == smoke_scene.num_gaussians
+        assert stats.num_stage1_passed + stats.num_depth_culled == stats.num_total
+        assert stats.num_groups_processed + stats.num_groups_skipped == stats.num_groups
+        assert stats.num_projected <= stats.num_stage1_passed
+        assert stats.num_screen_passed <= stats.num_projected
+        assert stats.num_sh_evaluated <= stats.num_screen_passed
+        assert stats.num_rendered <= stats.num_sh_evaluated
+        assert stats.pixels_blended <= stats.alpha_evaluations
+        assert stats.blocks_evaluated <= stats.blocks_visited
+
+    def test_cc_reduces_or_preserves_sh_work(self, smoke_scene, smoke_camera):
+        with_cc = render_gaussianwise(smoke_scene, smoke_camera, enable_cc=True).stats
+        without_cc = render_gaussianwise(smoke_scene, smoke_camera, enable_cc=False).stats
+        # Cross-stage conditional processing can only skip SH evaluations.
+        assert with_cc.num_sh_evaluated <= without_cc.num_sh_evaluated
+        assert without_cc.num_skipped_tmask == 0
+
+    def test_without_cc_all_screen_passed_get_sh(self, smoke_scene, smoke_camera):
+        stats = render_gaussianwise(smoke_scene, smoke_camera, enable_cc=False).stats
+        assert stats.num_sh_evaluated == stats.num_screen_passed
+        assert stats.num_groups_skipped == 0
+
+    def test_rendered_indices_are_valid(self, smoke_scene, smoke_camera):
+        stats = render_gaussianwise(smoke_scene, smoke_camera).stats
+        assert stats.rendered_indices.size == stats.num_rendered
+        if stats.num_rendered:
+            assert np.all(stats.rendered_indices < smoke_scene.num_gaussians)
+
+    def test_rendered_set_matches_tilewise(self, smoke_scene, smoke_camera):
+        tile_stats = render_tilewise(smoke_scene, smoke_camera).stats
+        gauss_stats = render_gaussianwise(smoke_scene, smoke_camera).stats
+        tile_set = set(tile_stats.rendered_indices.tolist())
+        gauss_set = set(gauss_stats.rendered_indices.tolist())
+        # The two dataflows blend the same Gaussians up to boundary-rule
+        # differences (omega-sigma vs 3-sigma), so the sets overlap heavily.
+        union = max(len(tile_set | gauss_set), 1)
+        assert len(tile_set & gauss_set) / union > 0.85
+
+    def test_aabb_boundary_mode_evaluates_more_pixels(self, smoke_scene, smoke_camera):
+        alpha_mode = render_gaussianwise(smoke_scene, smoke_camera, boundary_mode="alpha").stats
+        aabb_mode = render_gaussianwise(smoke_scene, smoke_camera, boundary_mode="aabb").stats
+        assert aabb_mode.alpha_evaluations >= alpha_mode.alpha_evaluations
+
+
+class TestOcclusionBehaviour:
+    def test_cc_skips_occluded_work(self, front_camera):
+        # A near opaque wall in front of many distant Gaussians: the distant
+        # ones should never have their SH evaluated under CC.
+        near_count, far_count = 60, 100
+        rng = np.random.default_rng(0)
+        near_means = rng.normal(scale=0.3, size=(near_count, 3)) * [1.0, 1.0, 0.05]
+        far_means = rng.normal(scale=0.3, size=(far_count, 3)) * [1.0, 1.0, 0.05] + [0, 0, 6.0]
+        scene = GaussianScene.from_flat_colors(
+            means=np.vstack([near_means, far_means]),
+            scales=np.full((near_count + far_count, 3), 1.0),
+            quaternions=np.tile([1.0, 0.0, 0.0, 0.0], (near_count + far_count, 1)),
+            opacities=np.full(near_count + far_count, 0.99),
+            rgb=np.tile([0.5, 0.5, 0.5], (near_count + far_count, 1)),
+        )
+        stats = render_gaussianwise(scene, front_camera, enable_cc=True).stats
+        assert stats.num_sh_evaluated < near_count + far_count
+        assert stats.num_skipped_tmask + stats.num_skipped_by_termination > 0

@@ -1,0 +1,82 @@
+"""Tests for depth grouping (Stage I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render.grouping import group_by_depth, grouping_comparison_count
+
+depth_arrays = st.lists(
+    st.floats(min_value=0.2, max_value=100.0, allow_nan=False), min_size=0, max_size=400
+)
+
+
+class TestGroupByDepth:
+    def test_empty_input_gives_no_groups(self):
+        assert group_by_depth(np.array([])) == []
+
+    def test_groups_partition_all_indices(self, rng):
+        depths = rng.uniform(0.5, 50.0, size=300)
+        groups = group_by_depth(depths, capacity=32)
+        all_indices = np.concatenate([g.indices for g in groups])
+        assert sorted(all_indices.tolist()) == list(range(300))
+
+    def test_group_sizes_respect_capacity(self, rng):
+        depths = rng.uniform(0.5, 50.0, size=500)
+        groups = group_by_depth(depths, capacity=64)
+        assert all(g.size <= 64 for g in groups)
+
+    def test_groups_are_front_to_back_ordered(self, rng):
+        depths = rng.uniform(0.5, 50.0, size=400)
+        groups = group_by_depth(depths, capacity=50)
+        for earlier, later in zip(groups, groups[1:]):
+            assert earlier.depth_max <= later.depth_min + 1e-9 or earlier.depth_max <= later.depth_max
+
+    def test_identical_depths_are_chunked(self):
+        depths = np.full(100, 3.0)
+        groups = group_by_depth(depths, capacity=30)
+        assert sum(g.size for g in groups) == 100
+        assert all(g.size <= 30 for g in groups)
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            group_by_depth(np.array([1.0]), capacity=0)
+
+    def test_invalid_bin_count_raises(self):
+        with pytest.raises(ValueError):
+            group_by_depth(np.array([1.0]), num_coarse_bins=0)
+
+    @given(depths=depth_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_property_partition_and_capacity(self, depths):
+        depths = np.asarray(depths)
+        groups = group_by_depth(depths, capacity=16, num_coarse_bins=8)
+        all_indices = (
+            np.concatenate([g.indices for g in groups]) if groups else np.array([], dtype=int)
+        )
+        assert sorted(all_indices.tolist()) == list(range(len(depths)))
+        assert all(g.size <= 16 for g in groups)
+
+    @given(depths=depth_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_property_global_front_to_back_order(self, depths):
+        depths = np.asarray(depths)
+        groups = group_by_depth(depths, capacity=16, num_coarse_bins=8)
+        previous_max = -np.inf
+        for group in groups:
+            # Groups come from contiguous depth ranges (or sorted chunks), so
+            # each group's minimum must not precede the previous group's
+            # minimum, keeping blending order correct across groups.
+            assert group.depth_min >= previous_max - 1e-9 or group.depth_min >= previous_max
+            previous_max = max(previous_max, group.depth_min)
+
+
+class TestGroupingComparisons:
+    def test_zero_gaussians_cost_nothing(self):
+        assert grouping_comparison_count(0) == 0
+
+    def test_count_scales_with_gaussians(self):
+        assert grouping_comparison_count(2000) > grouping_comparison_count(1000)

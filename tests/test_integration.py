@@ -1,0 +1,77 @@
+"""End-to-end integration tests across all layers of the library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.arch import GccAccelerator, GccConfig, GScoreAccelerator
+from repro.gaussians.io import load_scene_npz, save_scene_npz
+from repro.gaussians.synthetic import make_camera, make_scene
+from repro.render import render_gaussianwise, render_tilewise
+from repro.render.metrics import psnr, ssim
+
+
+class TestPublicApi:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        assert callable(repro.make_scene)
+        assert callable(repro.render_gaussianwise)
+
+    def test_quickstart_flow(self):
+        # The flow documented in the package docstring and README.
+        scene = repro.make_scene("lego", scale=0.003)
+        camera = make_camera("lego", image_scale=0.08)
+        frame = repro.render_gaussianwise(scene, camera)
+        report = GccAccelerator().simulate(scene, camera, render_result=frame)
+        assert frame.image.shape == (camera.height, camera.width, 3)
+        assert report.fps > 0
+        assert report.energy_mj_per_frame > 0
+
+
+class TestEndToEndPipeline:
+    def test_scene_roundtrip_then_render_then_simulate(self, tmp_path):
+        scene = make_scene("smoke", scale=1.0)
+        path = tmp_path / "scene.npz"
+        save_scene_npz(scene, path)
+        loaded = load_scene_npz(path)
+        camera = make_camera("smoke")
+
+        tile = render_tilewise(loaded, camera)
+        gauss = render_gaussianwise(loaded, camera)
+        assert psnr(tile.image, gauss.image) > 40.0
+        assert ssim(tile.image, gauss.image) > 0.95
+
+        gscore = GScoreAccelerator().simulate(loaded, camera, render_result=tile)
+        gcc = GccAccelerator().simulate(loaded, camera, render_result=gauss)
+        assert gcc.dram_traffic.total < gscore.dram_traffic.total
+
+    def test_multiple_views_are_consistent(self):
+        scene = make_scene("smoke", scale=0.5)
+        fractions = []
+        for view in range(3):
+            camera = make_camera("smoke", view_index=view)
+            stats = render_tilewise(scene, camera).stats
+            if stats.num_preprocessed:
+                fractions.append(stats.rendered_fraction)
+        assert fractions and all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_scene_scale_changes_work_but_not_correctness(self):
+        camera = make_camera("smoke")
+        small = make_scene("smoke", scale=0.3)
+        large = make_scene("smoke", scale=1.0)
+        small_stats = render_gaussianwise(small, camera).stats
+        large_stats = render_gaussianwise(large, camera).stats
+        assert large_stats.num_total > small_stats.num_total
+        assert large_stats.alpha_evaluations >= small_stats.alpha_evaluations
+
+    def test_ablation_chain_is_ordered(self):
+        # DRAM traffic: GSCore (baseline) >= GCC without CC >= GCC with CC.
+        scene = make_scene("train", scale=0.002)
+        camera = make_camera("train", image_scale=0.08)
+        gscore = GScoreAccelerator().simulate(scene, camera)
+        gw_only = GccAccelerator(GccConfig(enable_cc=False)).simulate(scene, camera)
+        gw_cc = GccAccelerator().simulate(scene, camera)
+        assert gscore.dram_traffic.total >= gw_only.dram_traffic.total
+        assert gw_only.dram_traffic.total >= gw_cc.dram_traffic.total

@@ -1,0 +1,70 @@
+"""Tests for scene serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaussians.io import (
+    load_scene_npz,
+    load_scene_text,
+    save_scene_npz,
+    save_scene_text,
+    scene_from_text,
+    scene_to_text,
+)
+from repro.gaussians.model import GaussianScene
+from repro.gaussians.synthetic import make_scene
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_preserves_all_arrays(self, tmp_path, smoke_scene):
+        path = tmp_path / "scene.npz"
+        save_scene_npz(smoke_scene, path)
+        loaded = load_scene_npz(path)
+        assert loaded.name == smoke_scene.name
+        assert np.allclose(loaded.means, smoke_scene.means)
+        assert np.allclose(loaded.scales, smoke_scene.scales)
+        assert np.allclose(loaded.quaternions, smoke_scene.quaternions)
+        assert np.allclose(loaded.opacities, smoke_scene.opacities)
+        assert np.allclose(loaded.sh_coeffs, smoke_scene.sh_coeffs)
+
+    def test_roundtrip_empty_scene(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_scene_npz(GaussianScene.empty("nothing"), path)
+        loaded = load_scene_npz(path)
+        assert loaded.num_gaussians == 0
+        assert loaded.name == "nothing"
+
+    def test_creates_parent_directories(self, tmp_path, smoke_scene):
+        path = tmp_path / "nested" / "dir" / "scene.npz"
+        save_scene_npz(smoke_scene, path)
+        assert path.exists()
+
+
+class TestTextRoundtrip:
+    def test_roundtrip_preserves_values(self):
+        scene = make_scene("smoke", scale=0.1)
+        text = scene_to_text(scene)
+        loaded = scene_from_text(text)
+        assert loaded.num_gaussians == scene.num_gaussians
+        assert np.allclose(loaded.means, scene.means, atol=1e-6, rtol=1e-6)
+        assert np.allclose(loaded.opacities, scene.opacities, atol=1e-6, rtol=1e-6)
+
+    def test_name_is_preserved(self):
+        scene = make_scene("smoke", scale=0.1)
+        assert scene_from_text(scene_to_text(scene)).name == scene.name
+
+    def test_file_roundtrip(self, tmp_path):
+        scene = make_scene("smoke", scale=0.1)
+        path = tmp_path / "scene.txt"
+        save_scene_text(scene, path)
+        loaded = load_scene_text(path)
+        assert loaded.num_gaussians == scene.num_gaussians
+
+    def test_empty_text_gives_empty_scene(self):
+        assert scene_from_text("# name: empty\n").num_gaussians == 0
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            scene_from_text("1.0 2.0 3.0\n")

@@ -1,0 +1,73 @@
+"""Tests for image quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.render.metrics import lpips_proxy, mse, psnr, ssim
+
+
+class TestPsnrAndMse:
+    def test_identical_images_have_zero_mse_and_infinite_psnr(self, rng):
+        image = rng.uniform(size=(32, 32, 3))
+        assert mse(image, image) == 0.0
+        assert psnr(image, image) == float("inf")
+
+    def test_known_mse(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+        assert psnr(a, b) == pytest.approx(10.0 * np.log10(1.0 / 0.25))
+
+    def test_psnr_decreases_with_noise(self, rng):
+        image = rng.uniform(size=(32, 32, 3))
+        small = np.clip(image + rng.normal(scale=0.01, size=image.shape), 0, 1)
+        large = np.clip(image + rng.normal(scale=0.1, size=image.shape), 0, 1)
+        assert psnr(image, small) > psnr(image, large)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            mse(rng.uniform(size=(4, 4)), rng.uniform(size=(5, 5)))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(16), np.zeros(16))
+
+
+class TestSsim:
+    def test_identical_images_give_one(self, rng):
+        image = rng.uniform(size=(32, 32, 3))
+        assert ssim(image, image) == pytest.approx(1.0, abs=1e-9)
+
+    def test_uncorrelated_noise_scores_lower(self, rng):
+        image = rng.uniform(size=(32, 32))
+        noise = rng.uniform(size=(32, 32))
+        assert ssim(image, noise) < 0.7
+
+    def test_ssim_bounded(self, rng):
+        a = rng.uniform(size=(16, 16))
+        b = rng.uniform(size=(16, 16))
+        value = ssim(a, b)
+        assert -1.0 <= value <= 1.0
+
+
+class TestLpipsProxy:
+    def test_identical_images_give_zero(self, rng):
+        image = rng.uniform(size=(64, 64, 3))
+        assert lpips_proxy(image, image) == pytest.approx(0.0, abs=1e-12)
+
+    def test_increases_with_distortion(self, rng):
+        image = rng.uniform(size=(64, 64, 3))
+        mild = np.clip(image + rng.normal(scale=0.02, size=image.shape), 0, 1)
+        severe = np.clip(image + rng.normal(scale=0.3, size=image.shape), 0, 1)
+        assert lpips_proxy(image, mild) < lpips_proxy(image, severe)
+
+    def test_tiny_images_do_not_crash(self):
+        a = np.zeros((3, 3))
+        b = np.ones((3, 3))
+        assert lpips_proxy(a, b) >= 0.0
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            lpips_proxy(rng.uniform(size=(8, 8)), rng.uniform(size=(8, 9)))

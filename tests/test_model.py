@@ -1,0 +1,124 @@
+"""Tests for the GaussianScene container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaussians.model import (
+    BYTES_PER_GAUSSIAN,
+    FLOATS_PER_GAUSSIAN,
+    GaussianScene,
+    SceneValidationError,
+)
+from repro.gaussians.sh import SH_COEFFS_PER_CHANNEL
+
+
+def _valid_arrays(count: int, rng: np.random.Generator) -> dict:
+    quats = rng.normal(size=(count, 4))
+    return {
+        "means": rng.normal(size=(count, 3)),
+        "scales": np.abs(rng.normal(size=(count, 3))) + 0.01,
+        "quaternions": quats,
+        "opacities": rng.uniform(0.05, 1.0, size=count),
+        "sh_coeffs": rng.normal(size=(count, 3, SH_COEFFS_PER_CHANNEL)),
+    }
+
+
+class TestConstructionAndValidation:
+    def test_parameter_count_matches_paper(self):
+        # The paper: each Gaussian is 59 floating-point parameters.
+        assert FLOATS_PER_GAUSSIAN == 59
+        assert BYTES_PER_GAUSSIAN == 236
+
+    def test_valid_scene_constructs(self, rng):
+        scene = GaussianScene(**_valid_arrays(10, rng), name="test")
+        assert scene.num_gaussians == 10
+        assert len(scene) == 10
+        assert scene.total_bytes == 10 * BYTES_PER_GAUSSIAN
+
+    def test_empty_scene(self):
+        scene = GaussianScene.empty()
+        assert scene.num_gaussians == 0
+        assert scene.total_bytes == 0
+
+    def test_rejects_mismatched_shapes(self, rng):
+        arrays = _valid_arrays(5, rng)
+        arrays["scales"] = arrays["scales"][:4]
+        with pytest.raises(SceneValidationError):
+            GaussianScene(**arrays)
+
+    def test_rejects_negative_scales(self, rng):
+        arrays = _valid_arrays(5, rng)
+        arrays["scales"][2, 1] = -0.1
+        with pytest.raises(SceneValidationError):
+            GaussianScene(**arrays)
+
+    def test_rejects_out_of_range_opacity(self, rng):
+        arrays = _valid_arrays(5, rng)
+        arrays["opacities"][0] = 1.5
+        with pytest.raises(SceneValidationError):
+            GaussianScene(**arrays)
+
+    def test_rejects_zero_quaternion(self, rng):
+        arrays = _valid_arrays(5, rng)
+        arrays["quaternions"][3] = 0.0
+        with pytest.raises(SceneValidationError):
+            GaussianScene(**arrays)
+
+    def test_rejects_wrong_sh_width(self, rng):
+        arrays = _valid_arrays(5, rng)
+        arrays["sh_coeffs"] = arrays["sh_coeffs"][:, :, :8]
+        with pytest.raises(SceneValidationError):
+            GaussianScene(**arrays)
+
+
+class TestSceneOperations:
+    def test_subset_by_indices(self, rng):
+        scene = GaussianScene(**_valid_arrays(10, rng))
+        subset = scene.subset(np.array([1, 3, 5]))
+        assert subset.num_gaussians == 3
+        assert np.allclose(subset.means[1], scene.means[3])
+
+    def test_subset_by_boolean_mask(self, rng):
+        scene = GaussianScene(**_valid_arrays(10, rng))
+        mask = scene.opacities > np.median(scene.opacities)
+        subset = scene.subset(mask)
+        assert subset.num_gaussians == int(np.count_nonzero(mask))
+
+    def test_concatenated_with(self, rng):
+        scene_a = GaussianScene(**_valid_arrays(4, rng))
+        scene_b = GaussianScene(**_valid_arrays(6, rng))
+        merged = scene_a.concatenated_with(scene_b)
+        assert merged.num_gaussians == 10
+        assert np.allclose(merged.means[:4], scene_a.means)
+        assert np.allclose(merged.means[4:], scene_b.means)
+
+    def test_normalized_quaternions_are_unit(self, rng):
+        scene = GaussianScene(**_valid_arrays(8, rng))
+        norms = np.linalg.norm(scene.normalized_quaternions(), axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_bounding_box_contains_all_means(self, rng):
+        scene = GaussianScene(**_valid_arrays(20, rng))
+        lo, hi = scene.bounding_box()
+        assert np.all(scene.means >= lo - 1e-12)
+        assert np.all(scene.means <= hi + 1e-12)
+
+    def test_bounding_box_of_empty_scene_is_zero(self):
+        lo, hi = GaussianScene.empty().bounding_box()
+        assert np.allclose(lo, 0.0) and np.allclose(hi, 0.0)
+
+    def test_from_flat_colors_reproduces_rgb(self):
+        rgb = np.array([[0.1, 0.5, 0.9], [0.7, 0.2, 0.3]])
+        scene = GaussianScene.from_flat_colors(
+            means=np.zeros((2, 3)),
+            scales=np.ones((2, 3)),
+            quaternions=np.tile([1.0, 0.0, 0.0, 0.0], (2, 1)),
+            opacities=np.array([0.5, 0.6]),
+            rgb=rgb,
+        )
+        from repro.gaussians.sh import evaluate_sh_colors
+
+        colors = evaluate_sh_colors(scene.sh_coeffs, np.tile([0.0, 0.0, 1.0], (2, 1)))
+        assert np.allclose(colors, rgb, atol=1e-12)

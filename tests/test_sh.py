@@ -1,0 +1,108 @@
+"""Tests for spherical harmonics colour evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.sh import (
+    SH_C0,
+    SH_COEFFS_PER_CHANNEL,
+    count_sh_flops,
+    evaluate_sh_colors,
+    sh_basis,
+)
+
+unit_vectors = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False), min_size=3, max_size=3
+).filter(lambda v: np.linalg.norm(v) > 1e-3)
+
+
+class TestShBasis:
+    @pytest.mark.parametrize("degree,expected", [(0, 1), (1, 4), (2, 9), (3, 16)])
+    def test_basis_width_matches_degree(self, degree, expected):
+        basis = sh_basis(np.array([[0.0, 0.0, 1.0]]), degree=degree)
+        assert basis.shape == (1, expected)
+
+    def test_degree_zero_is_constant(self):
+        directions = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, -1.0]])
+        basis = sh_basis(directions, degree=0)
+        assert np.allclose(basis, SH_C0)
+
+    def test_rejects_invalid_degree(self):
+        with pytest.raises(ValueError):
+            sh_basis(np.array([[0.0, 0.0, 1.0]]), degree=4)
+
+    def test_single_direction_promoted_to_batch(self):
+        basis = sh_basis(np.array([0.0, 0.0, 1.0]), degree=1)
+        assert basis.shape == (1, 4)
+
+    @given(direction=unit_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_degree1_terms_are_linear_in_direction(self, direction):
+        direction = np.asarray(direction) / np.linalg.norm(direction)
+        basis = sh_basis(direction[None, :], degree=1)[0]
+        doubled = sh_basis(2.0 * direction[None, :], degree=1)[0]
+        # Degree-1 basis functions are linear in (x, y, z).
+        assert np.allclose(doubled[1:4], 2.0 * basis[1:4], atol=1e-12)
+
+
+class TestEvaluateColors:
+    def test_dc_only_coefficients_reproduce_flat_color(self):
+        rgb = np.array([[0.2, 0.5, 0.8]])
+        sh = np.zeros((1, 3, SH_COEFFS_PER_CHANNEL))
+        sh[0, :, 0] = (rgb[0] - 0.5) / SH_C0
+        color = evaluate_sh_colors(sh, np.array([[0.0, 0.0, 1.0]]))
+        assert np.allclose(color, rgb, atol=1e-12)
+
+    def test_dc_only_color_is_view_independent(self, rng):
+        sh = np.zeros((1, 3, SH_COEFFS_PER_CHANNEL))
+        sh[0, :, 0] = rng.normal(size=3)
+        color_a = evaluate_sh_colors(sh, np.array([[0.0, 0.0, 1.0]]))
+        color_b = evaluate_sh_colors(sh, np.array([[1.0, 1.0, -1.0]]))
+        assert np.allclose(color_a, color_b)
+
+    def test_higher_degree_color_is_view_dependent(self, rng):
+        sh = rng.normal(size=(1, 3, SH_COEFFS_PER_CHANNEL))
+        color_a = evaluate_sh_colors(sh, np.array([[0.0, 0.0, 1.0]]))
+        color_b = evaluate_sh_colors(sh, np.array([[1.0, 0.0, 0.0]]))
+        assert not np.allclose(color_a, color_b)
+
+    def test_clamping_prevents_negative_colors(self, rng):
+        sh = -10.0 * np.abs(rng.normal(size=(4, 3, SH_COEFFS_PER_CHANNEL)))
+        colors = evaluate_sh_colors(sh, rng.normal(size=(4, 3)))
+        assert np.all(colors >= 0.0)
+
+    def test_unclamped_evaluation_can_be_negative(self):
+        sh = np.zeros((1, 3, SH_COEFFS_PER_CHANNEL))
+        sh[0, :, 0] = -10.0
+        colors = evaluate_sh_colors(sh, np.array([[0.0, 0.0, 1.0]]), clamp=False)
+        assert np.all(colors < 0.0)
+
+    def test_direction_normalisation_is_internal(self, rng):
+        sh = rng.normal(size=(1, 3, SH_COEFFS_PER_CHANNEL))
+        direction = np.array([[0.3, -0.4, 1.2]])
+        assert np.allclose(
+            evaluate_sh_colors(sh, direction), evaluate_sh_colors(sh, 5.0 * direction)
+        )
+
+    def test_lower_degree_ignores_high_order_coefficients(self, rng):
+        sh = rng.normal(size=(1, 3, SH_COEFFS_PER_CHANNEL))
+        truncated = sh.copy()
+        truncated[:, :, 1:] = 0.0
+        full_deg0 = evaluate_sh_colors(sh, np.array([[0.2, 0.3, 0.9]]), degree=0)
+        trunc_deg0 = evaluate_sh_colors(truncated, np.array([[0.2, 0.3, 0.9]]), degree=0)
+        assert np.allclose(full_deg0, trunc_deg0)
+
+
+class TestShFlops:
+    def test_flop_count_scales_linearly(self):
+        assert count_sh_flops(10) == 10 * count_sh_flops(1)
+
+    def test_higher_degree_costs_more(self):
+        assert count_sh_flops(1, degree=3) > count_sh_flops(1, degree=1)
+
+    def test_zero_gaussians_cost_nothing(self):
+        assert count_sh_flops(0) == 0

@@ -1,0 +1,114 @@
+"""Tests for synthetic benchmark scene generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaussians.synthetic import (
+    BENCHMARK_SCENES,
+    SCENE_SPECS,
+    make_camera,
+    make_scene,
+    make_single_gaussian_scene,
+    scene_spec,
+)
+
+
+class TestSceneSpecs:
+    def test_all_benchmark_scenes_have_specs(self):
+        for name in BENCHMARK_SCENES:
+            assert name in SCENE_SPECS
+
+    def test_scene_spec_lookup_is_case_insensitive(self):
+        assert scene_spec("LEGO").name == "lego"
+
+    def test_unknown_scene_raises(self):
+        with pytest.raises(KeyError):
+            scene_spec("does-not-exist")
+
+    def test_indoor_flags_match_dataset_type(self):
+        assert scene_spec("playroom").indoor
+        assert scene_spec("drjohnson").indoor
+        assert not scene_spec("lego").indoor
+        assert not scene_spec("train").indoor
+
+    def test_paper_scale_counts_are_millions_for_real_scenes(self):
+        assert scene_spec("drjohnson").base_num_gaussians > 1_000_000
+        assert scene_spec("lego").base_num_gaussians < 1_000_000
+
+
+class TestMakeScene:
+    def test_generation_is_deterministic(self):
+        scene_a = make_scene("smoke", scale=0.5)
+        scene_b = make_scene("smoke", scale=0.5)
+        assert np.array_equal(scene_a.means, scene_b.means)
+        assert np.array_equal(scene_a.sh_coeffs, scene_b.sh_coeffs)
+
+    def test_different_seed_changes_scene(self):
+        scene_a = make_scene("smoke", scale=0.5)
+        scene_b = make_scene("smoke", scale=0.5, seed=99)
+        assert not np.allclose(scene_a.means, scene_b.means)
+
+    def test_count_scales_with_scale_parameter(self):
+        small = make_scene("smoke", scale=0.25)
+        large = make_scene("smoke", scale=1.0)
+        assert large.num_gaussians == pytest.approx(4 * small.num_gaussians, rel=0.1)
+
+    def test_opacities_respect_minimum_threshold(self):
+        scene = make_scene("smoke", scale=1.0)
+        assert np.all(scene.opacities > 1.0 / 255.0)
+        assert np.all(scene.opacities <= 1.0)
+
+    def test_scene_passes_validation(self):
+        # GaussianScene.__post_init__ validates; construction not raising is the check.
+        scene = make_scene("train", scale=0.001)
+        assert scene.num_gaussians >= 16
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            make_scene("smoke", scale=0.0)
+
+    def test_indoor_scene_has_wall_background(self):
+        scene = make_scene("playroom", scale=0.001)
+        spec = scene_spec("playroom")
+        # At least some Gaussians should sit on the bounding-box walls.
+        on_wall = np.isclose(np.abs(scene.means), spec.extent, atol=1e-6).any(axis=1)
+        assert on_wall.any()
+
+
+class TestMakeCamera:
+    def test_image_size_matches_spec_and_scale(self):
+        camera = make_camera("lego", image_scale=0.1)
+        spec = scene_spec("lego")
+        assert camera.width == round(spec.image_size[0] * 0.1)
+        assert camera.height == round(spec.image_size[1] * 0.1)
+
+    def test_orbit_views_differ(self):
+        cam_a = make_camera("lego", view_index=0)
+        cam_b = make_camera("lego", view_index=3)
+        assert not np.allclose(cam_a.position, cam_b.position)
+
+    def test_object_camera_looks_at_origin(self):
+        camera = make_camera("train", view_index=1)
+        target_cam = camera.world_to_camera_points(np.zeros((1, 3)))[0]
+        assert target_cam[2] > 0
+
+    def test_rejects_zero_views(self):
+        with pytest.raises(ValueError):
+            make_camera("lego", num_views=0)
+
+
+class TestSingleGaussianScene:
+    def test_one_gaussian_with_requested_opacity(self):
+        scene = make_single_gaussian_scene(opacity=0.25)
+        assert scene.num_gaussians == 1
+        assert scene.opacities[0] == pytest.approx(0.25)
+
+    def test_anisotropy_from_aspect(self):
+        scene = make_single_gaussian_scene(opacity=1.0, scale=0.2, aspect=4.0)
+        assert scene.scales[0, 0] == pytest.approx(4.0 * scene.scales[0, 1])
+
+    def test_invalid_opacity_raises(self):
+        with pytest.raises(ValueError):
+            make_single_gaussian_scene(opacity=0.0)
