@@ -1,0 +1,134 @@
+"""Engine speed — vectorized vs reference rasterisation backends.
+
+Not a paper figure: this benchmark guards the vectorized engine's two
+contracts at the default evaluation scale (the ``train`` preset rendered by
+every experiment):
+
+1. *Equivalence* — identical statistics counters and images within
+   ``atol=1e-9`` against the reference per-Gaussian/per-block loops, for
+   both dataflows.
+2. *Speed* — an end-to-end frame (one tile-wise render for the GSCore
+   baseline plus one Gaussian-wise render for the GCC dataflow) is at least
+   5x faster than the reference backend.
+
+Run with::
+
+    pytest benchmarks/bench_engine_speed.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.eval.runner import EvalSetup, load_scene_and_camera
+from repro.render.common import RenderConfig
+from repro.render.gaussian_raster import render_gaussianwise
+from repro.render.tile_raster import render_tilewise
+
+
+def _best_time(func, repeats: int):
+    """Best-of-N wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _stats_identical(reference, vectorized) -> list[str]:
+    mismatches = []
+    for field in dataclasses.fields(reference):
+        ref_value = getattr(reference, field.name)
+        vec_value = getattr(vectorized, field.name)
+        equal = (
+            np.array_equal(ref_value, vec_value)
+            if isinstance(ref_value, np.ndarray)
+            else ref_value == vec_value
+        )
+        if not equal:
+            mismatches.append(field.name)
+    return mismatches
+
+
+def measure_engine_speed(scene_name: str = "train") -> dict:
+    """Time both backends on both dataflows at the default evaluation scale."""
+    setup = EvalSetup(scene_name, quick=False)
+    scene, camera = load_scene_and_camera(setup)
+
+    tile_cfg = lambda backend: RenderConfig(radius_rule="3sigma", backend=backend)
+    gauss_cfg = lambda backend: RenderConfig(radius_rule="omega-sigma", backend=backend)
+
+    tile_ref_s, tile_ref = _best_time(
+        lambda: render_tilewise(scene, camera, tile_cfg("reference")), repeats=1
+    )
+    tile_vec_s, tile_vec = _best_time(
+        lambda: render_tilewise(scene, camera, tile_cfg("vectorized")), repeats=2
+    )
+    gauss_ref_s, gauss_ref = _best_time(
+        lambda: render_gaussianwise(scene, camera, gauss_cfg("reference")), repeats=1
+    )
+    gauss_vec_s, gauss_vec = _best_time(
+        lambda: render_gaussianwise(scene, camera, gauss_cfg("vectorized")), repeats=2
+    )
+
+    return {
+        "scene": scene_name,
+        "num_gaussians": scene.num_gaussians,
+        "image": (camera.width, camera.height),
+        "tile_reference_s": tile_ref_s,
+        "tile_vectorized_s": tile_vec_s,
+        "tile_speedup": tile_ref_s / tile_vec_s,
+        "gauss_reference_s": gauss_ref_s,
+        "gauss_vectorized_s": gauss_vec_s,
+        "gauss_speedup": gauss_ref_s / gauss_vec_s,
+        "frame_reference_s": tile_ref_s + gauss_ref_s,
+        "frame_vectorized_s": tile_vec_s + gauss_vec_s,
+        "frame_speedup": (tile_ref_s + gauss_ref_s) / (tile_vec_s + gauss_vec_s),
+        "tile_image_max_diff": float(np.abs(tile_ref.image - tile_vec.image).max()),
+        "gauss_image_max_diff": float(np.abs(gauss_ref.image - gauss_vec.image).max()),
+        "tile_stats_mismatches": _stats_identical(tile_ref.stats, tile_vec.stats),
+        "gauss_stats_mismatches": _stats_identical(gauss_ref.stats, gauss_vec.stats),
+    }
+
+
+def _format_report(result: dict) -> str:
+    lines = [
+        "Engine speed: vectorized vs reference backends",
+        f"scene={result['scene']} gaussians={result['num_gaussians']} "
+        f"image={result['image'][0]}x{result['image'][1]}",
+        "",
+        f"{'dataflow':<14}{'reference':>12}{'vectorized':>12}{'speedup':>10}",
+        f"{'tile-wise':<14}{result['tile_reference_s']:>11.3f}s"
+        f"{result['tile_vectorized_s']:>11.3f}s{result['tile_speedup']:>9.2f}x",
+        f"{'gaussian-wise':<14}{result['gauss_reference_s']:>11.3f}s"
+        f"{result['gauss_vectorized_s']:>11.3f}s{result['gauss_speedup']:>9.2f}x",
+        f"{'frame (both)':<14}{result['frame_reference_s']:>11.3f}s"
+        f"{result['frame_vectorized_s']:>11.3f}s{result['frame_speedup']:>9.2f}x",
+        "",
+        f"tile image max |diff|:  {result['tile_image_max_diff']:.3e}",
+        f"gauss image max |diff|: {result['gauss_image_max_diff']:.3e}",
+    ]
+    return "\n".join(lines)
+
+
+def test_engine_speed_and_equivalence(benchmark, save_report):
+    result = run_once(benchmark, measure_engine_speed)
+    save_report("engine_speed", _format_report(result))
+
+    # Equivalence: exact statistics, images within 1e-9.
+    assert result["tile_stats_mismatches"] == []
+    assert result["gauss_stats_mismatches"] == []
+    assert result["tile_image_max_diff"] <= 1e-9
+    assert result["gauss_image_max_diff"] <= 1e-9
+
+    # Speed: the vectorized engine must carry the full frame at >= 5x; each
+    # dataflow individually must not regress below a conservative floor.
+    assert result["frame_speedup"] >= 5.0, result["frame_speedup"]
+    assert result["tile_speedup"] >= 3.0, result["tile_speedup"]
+    assert result["gauss_speedup"] >= 3.0, result["gauss_speedup"]

@@ -61,15 +61,22 @@ def load_scene_and_camera(setup: EvalSetup) -> tuple[GaussianScene, Camera]:
     return _cached(("scene", setup), build)
 
 
-def run_tilewise(setup: EvalSetup, tile_size: int = 16) -> TileWiseResult:
-    """Standard-dataflow render of a setup (cached)."""
+def run_tilewise(
+    setup: EvalSetup, tile_size: int = 16, backend: str = "vectorized"
+) -> TileWiseResult:
+    """Standard-dataflow render of a setup (cached).
+
+    ``backend`` selects the rasterisation engine (``"vectorized"`` or
+    ``"reference"``); both yield identical statistics, so every experiment
+    built on this function is backend-independent.
+    """
 
     def build():
         scene, camera = load_scene_and_camera(setup)
-        config = RenderConfig(tile_size=tile_size, radius_rule="3sigma")
+        config = RenderConfig(tile_size=tile_size, radius_rule="3sigma", backend=backend)
         return render_tilewise(scene, camera, config, obb_subtile_skip=True)
 
-    return _cached(("tilewise", setup, tile_size), build)
+    return _cached(("tilewise", setup, tile_size, backend), build)
 
 
 def run_gaussianwise(
@@ -77,17 +84,27 @@ def run_gaussianwise(
     enable_cc: bool = True,
     block_size: int = 8,
     boundary_mode: str = "alpha",
+    backend: str = "vectorized",
 ) -> GaussianWiseResult:
-    """GCC-dataflow render of a setup (cached)."""
+    """GCC-dataflow render of a setup (cached).
+
+    ``backend`` selects the rasterisation engine (``"vectorized"`` or
+    ``"reference"``); both yield identical statistics, so every experiment
+    built on this function is backend-independent.
+    """
 
     def build():
         scene, camera = load_scene_and_camera(setup)
-        config = RenderConfig(radius_rule="omega-sigma", block_size=block_size)
+        config = RenderConfig(
+            radius_rule="omega-sigma", block_size=block_size, backend=backend
+        )
         return render_gaussianwise(
             scene, camera, config, enable_cc=enable_cc, boundary_mode=boundary_mode
         )
 
-    return _cached(("gaussianwise", setup, enable_cc, block_size, boundary_mode), build)
+    return _cached(
+        ("gaussianwise", setup, enable_cc, block_size, boundary_mode, backend), build
+    )
 
 
 def run_gscore_sim(setup: EvalSetup, config: GScoreConfig | None = None) -> SimulationReport:

@@ -12,6 +12,18 @@ Two renderers are provided, matching the two dataflows the paper compares:
 Both return the rendered image *and* a statistics object; the hardware models
 in :mod:`repro.arch` consume those statistics to produce cycle and energy
 estimates.
+
+Each renderer runs on one of two engines selected by
+``RenderConfig(backend=...)``:
+
+* ``"vectorized"`` (default) — batched kernels (:mod:`repro.render.kernels`)
+  process whole tiles/chunks of Gaussians and whole block sets at once.
+* ``"reference"`` — the original per-Gaussian/per-block Python loops that
+  mirror the hardware pipelines operation by operation.
+
+The backends are observationally equivalent: statistics counters are
+integer-identical and images agree to ``atol=1e-9`` (see
+``tests/test_engine_equivalence.py`` and ``benchmarks/bench_engine_speed.py``).
 """
 
 from repro.render.common import RenderConfig

@@ -13,6 +13,23 @@ from repro.gaussians.covariance import mahalanobis_sq
 from repro.render.common import ALPHA_MAX, ALPHA_MIN
 
 
+def alpha_from_maha(
+    maha: np.ndarray,
+    opacity,
+    alpha_min: float = ALPHA_MIN,
+    alpha_max: float = ALPHA_MAX,
+) -> np.ndarray:
+    """Alpha from precomputed Mahalanobis^2 values (Equation 9).
+
+    ``opacity`` may be a scalar or an array broadcasting against ``maha``.
+    This is the single definition of the clamp/threshold semantics shared by
+    the reference loops and the vectorized kernels, so the two backends
+    cannot drift apart.
+    """
+    alpha = np.minimum(opacity * np.exp(-0.5 * maha), alpha_max)
+    return np.where(alpha < alpha_min, 0.0, alpha)
+
+
 def compute_alpha(
     conic: np.ndarray,
     opacity: float,
@@ -27,10 +44,9 @@ def compute_alpha(
     matching the reference rasteriser and the paper's 1/255 criterion);
     values above ``alpha_max`` are clamped.
     """
-    power = -0.5 * mahalanobis_sq(conic, dx, dy)
-    alpha = opacity * np.exp(power)
-    alpha = np.minimum(alpha, alpha_max)
-    return np.where(alpha < alpha_min, 0.0, alpha)
+    return alpha_from_maha(
+        mahalanobis_sq(conic, dx, dy), opacity, alpha_min=alpha_min, alpha_max=alpha_max
+    )
 
 
 def blend_pixels(

@@ -36,8 +36,16 @@ def _alpha_chi2(opacity: float, alpha_min: float) -> float | None:
 
 
 def _clamp_to_bounds(value: float, upper: int) -> int:
-    """Clamp a float coordinate to the integer range ``[0, upper - 1]``."""
-    return int(min(max(round(value), 0), upper - 1))
+    """Clamp a float coordinate to the integer range ``[0, upper - 1]``.
+
+    Uses ``floor`` so that an in-bounds coordinate maps to the pixel (or
+    block) *containing* it, matching Algorithm 1's "start from the pixel
+    containing the projected centre".  Rounding instead can start the
+    traversal one pixel past the containing one (e.g. x = 10.7 -> pixel 11),
+    which at block granularity can begin the search in a block the footprint
+    never touches and miss it entirely.
+    """
+    return int(min(max(np.floor(value), 0), upper - 1))
 
 
 def identify_influence_pixels(

@@ -52,6 +52,13 @@ class RenderConfig:
         Maximum Gaussians per depth group (N = 256 in the paper).
     background:
         Background colour blended behind the scene.
+    backend:
+        Execution engine for both rasterisers.  ``"vectorized"`` (default)
+        batches alpha evaluation, boundary identification and blending with
+        the kernels in :mod:`repro.render.kernels`; ``"reference"`` runs the
+        original per-Gaussian/per-block Python loops.  The two backends
+        produce identical statistics counters and images equal to
+        ``atol=1e-9``.
     """
 
     tile_size: int = TILE_SIZE
@@ -64,8 +71,11 @@ class RenderConfig:
     sh_degree: int = 3
     group_capacity: int = 256
     background: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("vectorized", "reference"):
+            raise ValueError("backend must be 'vectorized' or 'reference'")
         if self.tile_size <= 0 or self.block_size <= 0:
             raise ValueError("tile_size and block_size must be positive")
         if not 0.0 < self.alpha_min < self.alpha_max <= 1.0:

@@ -18,6 +18,19 @@ This renderer implements the four-stage pipeline of Figure 3:
 The produced image matches the tile-wise reference (Table 2 of the paper):
 every Gaussian/pixel pair skipped by the GCC dataflow would have contributed
 nothing under the standard dataflow either.
+
+Two execution backends are provided, selected by ``RenderConfig.backend``:
+
+* ``"vectorized"`` (default) — each Gaussian's footprint is evaluated once
+  over a block-aligned pixel region (:mod:`repro.render.kernels`); the
+  Algorithm 1 traversal replays over precomputed block-occupancy bits and
+  Stage IV blends every influence block in a single batched gather/scatter.
+* ``"reference"`` — the original per-block Python loops, kept as the oracle
+  the vectorized backend is validated against.
+
+The Gaussian-level sequencing (and therefore the transmittance mask
+evolution) is identical in both backends, so images and every statistics
+counter match exactly.
 """
 
 from __future__ import annotations
@@ -33,6 +46,11 @@ from repro.render.blending import blend_pixels, compute_alpha, finalize_image
 from repro.render.boundary import identify_influence_blocks
 from repro.render.common import RenderConfig
 from repro.render.grouping import group_by_depth
+from repro.render.kernels import (
+    blend_region_blocks,
+    compute_footprint_region,
+    traverse_region_blocks,
+)
 from repro.render.preprocess import frustum_cull_depths, project_geometry
 
 
@@ -63,8 +81,13 @@ class GaussianWiseStats:
     num_projected: int = 0
     #: Gaussians surviving the Stage II screen cull.
     num_screen_passed: int = 0
-    #: Gaussians whose footprint was entirely saturated (SH load skipped).
+    #: Gaussians skipped because every influence block was saturated in the
+    #: transmittance mask (a genuine T_mask skip: the SH load is avoided).
     num_skipped_tmask: int = 0
+    #: Gaussians whose alpha footprint covered no block at all (e.g. an
+    #: off-screen centre whose clamped start fails the alpha condition).
+    #: These never saturated anything and are not T_mask savings.
+    num_empty_footprint: int = 0
     #: Gaussians whose SH colour was evaluated (Stage III work / SH loads).
     num_sh_evaluated: int = 0
     #: Gaussians that contributed at least one blended pixel.
@@ -96,8 +119,11 @@ class GaussianWiseStats:
         """Fraction of Gaussians whose full preprocessing was avoided.
 
         Counts Gaussians that were never projected (skipped groups) plus
-        those whose SH evaluation was skipped, relative to the total the
-        standard dataflow would have preprocessed.
+        those whose SH evaluation was skipped by the transmittance mask,
+        relative to the total the standard dataflow would have preprocessed.
+        Gaussians with an empty footprint are *not* counted: the standard
+        dataflow would not have rendered them either, so skipping them is
+        not a dataflow saving.
         """
         if self.num_stage1_passed == 0:
             return 0.0
@@ -162,6 +188,7 @@ def render_gaussianwise(
     block_size = config.block_size
     blocks_x = (width + block_size - 1) // block_size
     blocks_y = (height + block_size - 1) // block_size
+    vectorized = config.backend == "vectorized"
 
     stats = GaussianWiseStats(
         width=width,
@@ -173,6 +200,9 @@ def render_gaussianwise(
 
     color_accum = np.zeros((height, width, 3), dtype=np.float64)
     transmittance = np.ones((height, width), dtype=np.float64)
+    # Flat views used by the batched Stage IV scatter (same memory).
+    color_flat = color_accum.reshape(-1, 3)
+    trans_flat = transmittance.reshape(-1)
 
     if scene.num_gaussians == 0:
         image = finalize_image(color_accum, transmittance, config.background)
@@ -190,8 +220,11 @@ def render_gaussianwise(
     stats.num_groups = len(groups)
 
     # Per-block saturation mask (the hardware T_mask): True when every pixel
-    # in the block has terminated.
+    # in the block has terminated.  The vectorized backend keeps the same
+    # mask as a set of (by, bx) coordinates so per-block membership tests
+    # stay off numpy scalar indexing.
     saturated_blocks = np.zeros((blocks_y, blocks_x), dtype=bool)
+    saturated_set: set[tuple[int, int]] = set()
     rendered_sources: list[int] = []
     camera_position = camera.position
 
@@ -236,37 +269,69 @@ def render_gaussianwise(
             mean2d = geometry.means2d[row]
             conic = geometry.conics[row]
             opacity = float(geometry.opacities[row])
+            region = None
 
             if boundary_mode == "alpha":
-                traversal = identify_influence_blocks(
-                    mean2d,
-                    conic,
-                    opacity,
-                    width,
-                    height,
-                    block_size=block_size,
-                    alpha_min=config.alpha_min,
-                    saturated_blocks=saturated_blocks if enable_cc else None,
-                )
+                if vectorized:
+                    region = compute_footprint_region(
+                        mean2d,
+                        conic,
+                        geometry.cov2d[row],
+                        opacity,
+                        width,
+                        height,
+                        block_size,
+                        config.alpha_min,
+                    )
+                    traversal = traverse_region_blocks(
+                        region,
+                        width,
+                        height,
+                        block_size,
+                        saturated_set=saturated_set if enable_cc else None,
+                    )
+                else:
+                    traversal = identify_influence_blocks(
+                        mean2d,
+                        conic,
+                        opacity,
+                        width,
+                        height,
+                        block_size=block_size,
+                        alpha_min=config.alpha_min,
+                        saturated_blocks=saturated_blocks if enable_cc else None,
+                    )
                 blocks = traversal.blocks
                 stats.blocks_visited += traversal.blocks_visited
                 stats.blocks_skipped_tmask += traversal.blocks_skipped_tmask
+                skipped_here = traversal.blocks_skipped_tmask
             else:
                 blocks = _blocks_from_radius(
                     mean2d, float(geometry.radii[row]), width, height, block_size
                 )
                 stats.blocks_visited += len(blocks)
+                skipped_here = 0
                 if enable_cc:
-                    kept = [b for b in blocks if not saturated_blocks[b]]
-                    stats.blocks_skipped_tmask += len(blocks) - len(kept)
+                    if vectorized:
+                        kept = [b for b in blocks if b not in saturated_set]
+                    else:
+                        kept = [b for b in blocks if not saturated_blocks[b]]
+                    skipped_here = len(blocks) - len(kept)
+                    stats.blocks_skipped_tmask += skipped_here
                     blocks = kept
 
             if not blocks:
-                # Nothing to render: either the footprint is empty or every
-                # covered block is already saturated.  Under CC this Gaussian's
-                # SH coefficients are never fetched.
-                if enable_cc:
+                # Nothing to render.  Only count a T_mask skip when the
+                # saturation mask actually removed blocks; a footprint that
+                # covered no block to begin with was never going to render
+                # and is not a preprocessing saving.
+                if skipped_here > 0:
                     stats.num_skipped_tmask += 1
+                else:
+                    stats.num_empty_footprint += 1
+                if enable_cc:
+                    # Under CC this Gaussian's SH coefficients are never
+                    # fetched.
                     continue
 
             # Stage III colour evaluation (conditional under CC).
@@ -278,52 +343,101 @@ def render_gaussianwise(
             )[0]
             stats.num_sh_evaluated += 1
 
-            contributed_any = 0
-            touched_blocks: list[tuple[int, int]] = []
-            for by, bx in blocks:
-                y0, x0 = by * block_size, bx * block_size
-                y1, x1 = min(y0 + block_size, height), min(x0 + block_size, width)
-                xs = np.arange(x0, x1, dtype=np.float64)
-                ys = np.arange(y0, y1, dtype=np.float64)
-                grid_x, grid_y = np.meshgrid(xs, ys)
-                dx = grid_x - mean2d[0]
-                dy = grid_y - mean2d[1]
+            if not blocks:
+                continue
 
-                stats.alpha_evaluations += dx.size
-                stats.blocks_evaluated += 1
-                alpha = compute_alpha(
-                    conic,
-                    opacity,
-                    dx,
-                    dy,
-                    alpha_min=config.alpha_min,
-                    alpha_max=config.alpha_max,
-                )
-
-                block_color = color_accum[y0:y1, x0:x1].reshape(-1, 3)
-                block_trans = transmittance[y0:y1, x0:x1].reshape(-1)
-                contributed = blend_pixels(
-                    block_color,
-                    block_trans,
-                    alpha.reshape(-1),
+            if vectorized:
+                if region is None:
+                    # "aabb" mode derives blocks from the bounding radius,
+                    # which can exceed the alpha ellipse; grow the region to
+                    # cover it.
+                    region = compute_footprint_region(
+                        mean2d,
+                        conic,
+                        geometry.cov2d[row],
+                        opacity,
+                        width,
+                        height,
+                        block_size,
+                        config.alpha_min,
+                        extra_radius=float(geometry.radii[row]),
+                    )
+                counts, pixel_evals, block_trans_max = blend_region_blocks(
+                    color_flat,
+                    trans_flat,
+                    region,
+                    blocks,
                     color,
+                    opacity,
+                    width,
+                    height,
+                    block_size,
+                    config.alpha_min,
+                    config.alpha_max,
                     config.transmittance_eps,
                 )
-                color_accum[y0:y1, x0:x1] = block_color.reshape(y1 - y0, x1 - x0, 3)
-                transmittance[y0:y1, x0:x1] = block_trans.reshape(y1 - y0, x1 - x0)
-                stats.pixels_blended += contributed
-                contributed_any += contributed
-                if contributed:
-                    touched_blocks.append((by, bx))
+                stats.alpha_evaluations += pixel_evals
+                stats.blocks_evaluated += len(blocks)
+                contributed_any = int(counts.sum())
+                stats.pixels_blended += contributed_any
+                if contributed_any:
+                    touched = counts > 0
+                    newly_saturated = touched & (
+                        block_trans_max <= config.transmittance_eps
+                    )
+                    for b_index in np.nonzero(newly_saturated)[0]:
+                        saturated_set.add(blocks[b_index])
+            else:
+                contributed_any = 0
+                touched_blocks: list[tuple[int, int]] = []
+                for by, bx in blocks:
+                    y0, x0 = by * block_size, bx * block_size
+                    y1, x1 = min(y0 + block_size, height), min(x0 + block_size, width)
+                    xs = np.arange(x0, x1, dtype=np.float64)
+                    ys = np.arange(y0, y1, dtype=np.float64)
+                    grid_x, grid_y = np.meshgrid(xs, ys)
+                    dx = grid_x - mean2d[0]
+                    dy = grid_y - mean2d[1]
+
+                    stats.alpha_evaluations += dx.size
+                    stats.blocks_evaluated += 1
+                    alpha = compute_alpha(
+                        conic,
+                        opacity,
+                        dx,
+                        dy,
+                        alpha_min=config.alpha_min,
+                        alpha_max=config.alpha_max,
+                    )
+
+                    block_color = color_accum[y0:y1, x0:x1].reshape(-1, 3)
+                    block_trans = transmittance[y0:y1, x0:x1].reshape(-1)
+                    contributed = blend_pixels(
+                        block_color,
+                        block_trans,
+                        alpha.reshape(-1),
+                        color,
+                        config.transmittance_eps,
+                    )
+                    color_accum[y0:y1, x0:x1] = block_color.reshape(y1 - y0, x1 - x0, 3)
+                    transmittance[y0:y1, x0:x1] = block_trans.reshape(y1 - y0, x1 - x0)
+                    stats.pixels_blended += contributed
+                    contributed_any += contributed
+                    if contributed:
+                        touched_blocks.append((by, bx))
+                if contributed_any:
+                    refresh_block_mask(touched_blocks)
 
             if contributed_any:
                 rendered_sources.append(int(geometry.source_indices[row]))
-                refresh_block_mask(touched_blocks)
 
         # Cross-stage conditional check: if every block is saturated, the
         # remaining (deeper) groups are skipped entirely.
-        if enable_cc and bool(np.all(saturated_blocks)):
-            terminated = True
+        if enable_cc:
+            if vectorized:
+                terminated = terminated or len(saturated_set) == blocks_x * blocks_y
+            elif bool(np.all(saturated_blocks)):
+                terminated = True
 
     stats.num_rendered = len(rendered_sources)
     if rendered_sources:

@@ -1,0 +1,443 @@
+"""Batched rasterisation kernels shared by the vectorized render backends.
+
+The reference renderers in :mod:`repro.render.tile_raster` and
+:mod:`repro.render.gaussian_raster` are deliberate per-Gaussian/per-block
+Python loops that mirror the hardware pipelines one operation at a time.
+This module provides the batched equivalents used by
+``RenderConfig(backend="vectorized")``:
+
+* :func:`batched_tile_alpha` — alpha/Mahalanobis evaluation of a whole chunk
+  of depth-ordered Gaussians over a full tile at once.
+* :func:`sequential_blend` — front-to-back blending of a depth-ordered chunk
+  with the exact freeze-after-saturation semantics of
+  :func:`repro.render.blending.blend_pixels`, implemented with a cumulative
+  product over the Gaussian axis.
+* :func:`subtile_evaluation_count` — the GSCore OBB subtile-skip statistic
+  computed for a chunk of Gaussians in one reduction.
+* :func:`compute_footprint_region` / :func:`traverse_region_blocks` — the
+  Gaussian-wise footprint evaluated once per Gaussian over a pixel region,
+  with Algorithm 1's block traversal replayed over precomputed block/edge
+  occupancy bits instead of one PE-array pass per visited block.
+* :func:`blend_region_blocks` — Stage IV alpha computation and blending for
+  all influence blocks of one Gaussian in a single gather/scatter.
+
+Every kernel is *observationally equivalent* to the reference loops: the
+per-pixel arithmetic uses identical elementwise operations in the same
+order, so all statistics counters (pairs processed, alpha evaluations,
+pixels blended, blocks visited/skipped, ...) are integer-identical and the
+transmittance state evolves bitwise-identically.  Only the accumulation
+order of the colour buffer differs (a batched sum instead of a left fold),
+which keeps rendered images within ``atol=1e-9`` of the reference.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.covariance import mahalanobis_sq
+from repro.render.blending import alpha_from_maha
+from repro.render.boundary import BlockTraversalResult, _alpha_chi2, _clamp_to_bounds
+
+#: Default number of depth-ordered Gaussians evaluated per tile chunk.  Small
+#: enough that early termination does not waste much work, large enough to
+#: amortise the Python dispatch overhead.
+TILE_CHUNK = 256
+
+
+# ----------------------------------------------------------------------
+# Tile-wise (standard dataflow) kernels
+# ----------------------------------------------------------------------
+def batched_tile_alpha(
+    means2d: np.ndarray,
+    conics: np.ndarray,
+    opacities: np.ndarray,
+    x0: int,
+    y0: int,
+    x1: int,
+    y1: int,
+    alpha_min: float,
+    alpha_max: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Alpha and Mahalanobis^2 of ``K`` Gaussians over one pixel tile.
+
+    Returns ``(alpha, maha)`` of shape ``(K, y1 - y0, x1 - x0)``.  The
+    elementwise operations match :func:`repro.render.blending.compute_alpha`
+    exactly, so the values are bitwise-identical to the reference loop.
+    """
+    xs = np.arange(x0, x1, dtype=np.float64)
+    ys = np.arange(y0, y1, dtype=np.float64)
+    dx = xs[None, None, :] - means2d[:, 0, None, None]
+    dy = ys[None, :, None] - means2d[:, 1, None, None]
+    maha = mahalanobis_sq(conics[:, None, None, :], dx, dy)
+    alpha = alpha_from_maha(
+        maha, opacities[:, None, None], alpha_min=alpha_min, alpha_max=alpha_max
+    )
+    return alpha, maha
+
+
+def sequential_blend(
+    tile_color: np.ndarray,
+    tile_trans: np.ndarray,
+    alphas: np.ndarray,
+    colors: np.ndarray,
+    transmittance_eps: float,
+) -> tuple[int, np.ndarray]:
+    """Blend a depth-ordered chunk of Gaussians into a tile, in place.
+
+    Parameters
+    ----------
+    tile_color:
+        ``(P, 3)`` accumulated colour (modified in place).
+    tile_trans:
+        ``(P,)`` accumulated transmittance (modified in place).
+    alphas:
+        ``(K, P)`` per-Gaussian, per-pixel alpha, front-to-back order.
+    colors:
+        ``(K, 3)`` per-Gaussian RGB.
+
+    Returns
+    -------
+    ``(num_processed, counts)`` where ``num_processed`` is how many leading
+    Gaussians of the chunk the reference loop would have processed before its
+    all-pixels-saturated early exit, and ``counts[i]`` is the number of
+    pixels Gaussian ``i`` contributed to (only the first ``num_processed``
+    entries are meaningful).
+
+    The recurrence ``T <- T * (1 - alpha)`` is evaluated as a cumulative
+    product with the initial transmittance as the first factor, which is the
+    same left-to-right association as the reference loop; a pixel whose
+    transmittance crosses ``transmittance_eps`` keeps its crossing value
+    (the reference freezes saturated pixels), which is recovered exactly
+    because the sequence is non-increasing.
+    """
+    num, pixels = alphas.shape
+    factors = np.empty((num + 1, pixels), dtype=np.float64)
+    factors[0] = tile_trans
+    np.subtract(1.0, alphas, out=factors[1:])
+    trans_seq = np.cumprod(factors, axis=0)
+
+    # trans_seq[i] is the transmittance before Gaussian i (ignoring the
+    # freeze); it is non-increasing, so the first crossing below eps is both
+    # the frozen value and the point after which nothing is active.
+    saturated_last = trans_seq[-1] <= transmittance_eps
+    first_sat = np.where(
+        saturated_last, np.argmax(trans_seq <= transmittance_eps, axis=0), num + 1
+    )
+    num_processed = int(min(num, first_sat.max())) if pixels else num
+
+    active = (alphas[:num_processed] > 0.0) & (
+        trans_seq[:num_processed] > transmittance_eps
+    )
+    weights = np.where(active, trans_seq[:num_processed] * alphas[:num_processed], 0.0)
+    tile_color += np.einsum("kp,kc->pc", weights, colors[:num_processed])
+
+    stop = np.minimum(first_sat, num_processed)
+    tile_trans[:] = trans_seq[stop, np.arange(pixels)]
+    counts = np.count_nonzero(active, axis=1)
+    return num_processed, counts
+
+
+def subtile_evaluation_count(maha: np.ndarray, subtile: int) -> int:
+    """GSCore subtile-skip alpha-evaluation count for a chunk of Gaussians.
+
+    Mirrors the reference double loop: a subtile is evaluated when the
+    minimum Mahalanobis^2 inside it is within the 3-sigma footprint (<= 9),
+    and then contributes its full pixel count.
+    """
+    num, th, tw = maha.shape
+    if num == 0:
+        return 0
+    if th % subtile == 0 and tw % subtile == 0:
+        # Full tiles: every subtile has subtile**2 pixels, no padding needed.
+        mins = maha.reshape(num, th // subtile, subtile, tw // subtile, subtile).min(
+            axis=(2, 4)
+        )
+        return int(np.count_nonzero(mins <= 9.0)) * subtile * subtile
+    nby = -(-th // subtile)
+    nbx = -(-tw // subtile)
+    padded = np.full((num, nby * subtile, nbx * subtile), np.inf)
+    padded[:, :th, :tw] = maha
+    mins = padded.reshape(num, nby, subtile, nbx, subtile).min(axis=(2, 4))
+    rows = np.minimum(subtile, th - np.arange(nby) * subtile)
+    cols = np.minimum(subtile, tw - np.arange(nbx) * subtile)
+    sizes = rows[:, None] * cols[None, :]
+    return int(np.sum((mins <= 9.0) * sizes[None, :, :]))
+
+
+# ----------------------------------------------------------------------
+# Gaussian-wise (GCC dataflow) kernels
+# ----------------------------------------------------------------------
+@dataclass
+class FootprintRegion:
+    """Precomputed screen-space footprint of one Gaussian.
+
+    The region is a block-aligned pixel rectangle that covers the alpha
+    (chi^2) ellipse plus a one-block ring, the clamped start block, and —
+    when requested — the bounding-radius box, clamped to the image.  All the
+    per-block quantities Algorithm 1 needs (occupancy and boundary-edge
+    bits) are reduced from one vectorized Mahalanobis evaluation instead of
+    one PE-array pass per visited block.
+    """
+
+    #: Pixel origin (x, y) of the region; always block-aligned.
+    px0: int
+    py0: int
+    #: Mahalanobis^2 over the region pixels, shape ``(rh, rw)``.
+    maha: np.ndarray
+    #: chi^2 threshold for the alpha condition, or None when the opacity
+    #: cannot reach ``alpha_min`` anywhere.
+    chi2: float | None
+    #: Global block index (by, bx) of the region's top-left block.
+    block_origin: tuple[int, int]
+    #: Per-block any-influence bits as nested Python lists (None if no
+    #: chi2); plain lists keep the traversal's inner loop off numpy scalar
+    #: indexing, which dominates at this grain.
+    block_any: list[list[bool]] | None
+    #: Per-block boundary-edge any-influence bits keyed right/left/down/up.
+    edges: dict[str, list[list[bool]]] | None
+    #: Clamped start block (by, bx) in global block coordinates.
+    start_block: tuple[int, int]
+
+
+def compute_footprint_region(
+    mean2d: np.ndarray,
+    conic: np.ndarray,
+    cov2d: np.ndarray,
+    opacity: float,
+    width: int,
+    height: int,
+    block_size: int,
+    alpha_min: float,
+    extra_radius: float = 0.0,
+) -> FootprintRegion:
+    """Evaluate one Gaussian's footprint over a block-aligned pixel region.
+
+    ``extra_radius`` additionally grows the region to cover the
+    bounding-radius box (needed by the ``"aabb"`` boundary ablation, whose
+    block set is derived from the radius rather than the alpha ellipse).
+    """
+    blocks_x = (width + block_size - 1) // block_size
+    blocks_y = (height + block_size - 1) // block_size
+    mx, my = float(mean2d[0]), float(mean2d[1])
+    # Same containing-pixel clamp as boundary._clamp_to_bounds, inlined with
+    # math.floor to avoid per-Gaussian numpy scalar overhead.
+    cx = int(min(max(math.floor(mx), 0), width - 1))
+    cy = int(min(max(math.floor(my), 0), height - 1))
+    start = (cy // block_size, cx // block_size)
+
+    chi2 = _alpha_chi2(opacity, alpha_min)
+    chi2_span = max(chi2, 0.0) if chi2 is not None else 0.0
+    # Maximum |dx| (|dy|) over the chi^2 ellipse is sqrt(chi2 * Sigma_xx).
+    half_x = max(float(np.sqrt(chi2_span * max(cov2d[0, 0], 0.0))), extra_radius)
+    half_y = max(float(np.sqrt(chi2_span * max(cov2d[1, 1], 0.0))), extra_radius)
+
+    # The pixel region covers exactly the blocks intersecting the ellipse
+    # bounding box (plus the clamped start block).  Any pixel outside that
+    # box is outside the ellipse, so the one-block traversal ring around it
+    # carries all-False occupancy bits and needs no pixel evaluation; it is
+    # synthesised below by list padding.
+    bx_lo = min(max(int(math.floor((mx - half_x) / block_size)), 0), start[1])
+    bx_hi = max(min(int(math.floor((mx + half_x) / block_size)), blocks_x - 1), start[1])
+    by_lo = min(max(int(math.floor((my - half_y) / block_size)), 0), start[0])
+    by_hi = max(min(int(math.floor((my + half_y) / block_size)), blocks_y - 1), start[0])
+
+    px0, py0 = bx_lo * block_size, by_lo * block_size
+    px1 = min((bx_hi + 1) * block_size, width)
+    py1 = min((by_hi + 1) * block_size, height)
+    dx = np.arange(px0, px1, dtype=np.float64) - mx
+    dy = np.arange(py0, py1, dtype=np.float64) - my
+    dx, dy = dx[None, :], dy[:, None]
+    # Inlined mahalanobis_sq with scalar coefficients: identical elementwise
+    # operations and order, without per-Gaussian array-wrapping overhead.
+    a, b, c = float(conic[0]), float(conic[1]), float(conic[2])
+    maha = a * dx * dx + 2.0 * b * dx * dy + c * dy * dy
+
+    block_any = None
+    edges = None
+    if chi2 is not None:
+        nby, nbx = by_hi - by_lo + 1, bx_hi - bx_lo + 1
+        padded = np.zeros((nby * block_size, nbx * block_size), dtype=bool)
+        padded[: maha.shape[0], : maha.shape[1]] = maha <= chi2
+        blocks = padded.reshape(nby, block_size, nbx, block_size)
+        # Padded rows/columns are all-False; an edge facing the padding is
+        # only ever consulted for an in-grid neighbour, in which case the
+        # block is full in that direction and the padding does not alias.
+        # The down/up (right/left) edge bits are slices of the per-row
+        # (per-column) occupancy reduction, so three reductions cover all
+        # five bit planes.
+        row_hits = blocks.any(axis=3)  # (nby, bs, nbx)
+        col_hits = blocks.any(axis=1)  # (nby, nbx, bs)
+
+        def ring_pad(rows: list[list[bool]]) -> list[list[bool]]:
+            false_row = [False] * (nbx + 2)
+            return (
+                [false_row]
+                + [[False] + row + [False] for row in rows]
+                + [false_row]
+            )
+
+        block_any = ring_pad(row_hits.any(axis=1).tolist())
+        edges = {
+            "right": ring_pad(col_hits[:, :, -1].tolist()),
+            "left": ring_pad(col_hits[:, :, 0].tolist()),
+            "down": ring_pad(row_hits[:, -1, :].tolist()),
+            "up": ring_pad(row_hits[:, 0, :].tolist()),
+        }
+    return FootprintRegion(
+        px0=px0,
+        py0=py0,
+        maha=maha,
+        chi2=chi2,
+        block_origin=(by_lo - 1, bx_lo - 1),
+        block_any=block_any,
+        edges=edges,
+        start_block=start,
+    )
+
+
+def traverse_region_blocks(
+    region: FootprintRegion,
+    width: int,
+    height: int,
+    block_size: int,
+    saturated_set: set[tuple[int, int]] | None = None,
+) -> BlockTraversalResult:
+    """Replay Algorithm 1's block traversal over a precomputed region.
+
+    Produces a :class:`BlockTraversalResult` identical (including the block
+    order and the visited/skipped counters) to
+    :func:`repro.render.boundary.identify_influence_blocks`; the per-block
+    PE-array passes are replaced by reads of the precomputed occupancy bits.
+
+    Parameters
+    ----------
+    saturated_set:
+        Set of saturated ``(by, bx)`` blocks in global block coordinates —
+        the T_mask kept as a Python set so membership tests stay cheap at
+        per-block grain.  ``None`` disables the mask (CC off).
+    """
+    if region.chi2 is None:
+        return BlockTraversalResult([], 0, 0)
+    blocks_x = (width + block_size - 1) // block_size
+    blocks_y = (height + block_size - 1) // block_size
+    if blocks_x <= 0 or blocks_y <= 0:
+        return BlockTraversalResult([], 0, 0)
+
+    by0, bx0 = region.block_origin
+    block_any = region.block_any
+    edges = region.edges
+    nby = len(block_any)
+    nbx = len(block_any[0])
+    visited = [[False] * nbx for _ in range(nby)]
+
+    result_blocks: list[tuple[int, int]] = []
+    skipped_tmask = 0
+    start = region.start_block
+    ly, lx = start[0] - by0, start[1] - bx0
+    visited[ly][lx] = True
+    blocks_visited = 1
+    queue: deque[tuple[int, int]] = deque()
+    if block_any[ly][lx]:
+        queue.append((ly, lx))
+        if saturated_set is not None and start in saturated_set:
+            skipped_tmask += 1
+        else:
+            result_blocks.append(start)
+
+    edge_right, edge_left = edges["right"], edges["left"]
+    edge_down, edge_up = edges["down"], edges["up"]
+    # Probe order matches identify_influence_blocks: right, left, down, up.
+    # The region already clamps to the block grid, so a local index is
+    # in-bounds iff the global one is.
+    while queue:
+        ly, lx = queue.popleft()
+        gy, gx = ly + by0, lx + bx0
+        for ny, nx, gny, gnx, edge_hit in (
+            (ly, lx + 1, gy, gx + 1, edge_right[ly][lx]),
+            (ly, lx - 1, gy, gx - 1, edge_left[ly][lx]),
+            (ly + 1, lx, gy + 1, gx, edge_down[ly][lx]),
+            (ly - 1, lx, gy - 1, gx, edge_up[ly][lx]),
+        ):
+            if not (0 <= gny < blocks_y and 0 <= gnx < blocks_x):
+                continue
+            if visited[ny][nx] or not edge_hit:
+                continue
+            visited[ny][nx] = True
+            blocks_visited += 1
+            if not block_any[ny][nx]:
+                continue
+            queue.append((ny, nx))
+            if saturated_set is not None and (gny, gnx) in saturated_set:
+                skipped_tmask += 1
+            else:
+                result_blocks.append((gny, gnx))
+    return BlockTraversalResult(result_blocks, blocks_visited, skipped_tmask)
+
+
+def blend_region_blocks(
+    color_flat: np.ndarray,
+    trans_flat: np.ndarray,
+    region: FootprintRegion,
+    blocks: list[tuple[int, int]],
+    color: np.ndarray,
+    opacity: float,
+    width: int,
+    height: int,
+    block_size: int,
+    alpha_min: float,
+    alpha_max: float,
+    transmittance_eps: float,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Alpha-evaluate and blend all influence blocks of one Gaussian at once.
+
+    Parameters
+    ----------
+    color_flat, trans_flat:
+        ``(H * W, 3)`` and ``(H * W,)`` flattened image state (modified in
+        place).  Blocks are disjoint pixel sets, so a single gather/scatter
+        is equivalent to the reference per-block loop.
+
+    Returns
+    -------
+    ``(counts, pixel_evaluations, block_trans_max)`` where ``counts[i]`` is
+    the number of pixels block ``i`` contributed, ``pixel_evaluations`` is
+    the total per-pixel alpha evaluations (the sum of valid block pixels)
+    and ``block_trans_max[i]`` is the post-blend maximum transmittance of
+    block ``i`` (used to update the T_mask exactly as the reference does).
+    """
+    barr = np.asarray(blocks, dtype=np.int64)
+    offsets = np.arange(block_size, dtype=np.int64)
+    ys = barr[:, 0, None] * block_size + offsets[None, :]
+    xs = barr[:, 1, None] * block_size + offsets[None, :]
+    valid = (ys < height)[:, :, None] & (xs < width)[:, None, :]
+    ys = np.minimum(ys, height - 1)
+    xs = np.minimum(xs, width - 1)
+
+    row_idx = (ys - region.py0)[:, :, None]
+    col_idx = (xs - region.px0)[:, None, :]
+    maha = region.maha[row_idx, col_idx]
+    alpha = alpha_from_maha(maha, opacity, alpha_min=alpha_min, alpha_max=alpha_max)
+
+    flat_idx = (ys[:, :, None] * width + xs[:, None, :])[valid]
+    alpha_v = alpha[valid]
+    trans_v = trans_flat[flat_idx]
+    active = (alpha_v > 0.0) & (trans_v > transmittance_eps)
+
+    active_idx = flat_idx[active]
+    weight = trans_v[active] * alpha_v[active]
+    color_flat[active_idx] += weight[:, None] * color[None, :]
+    trans_after = np.where(active, trans_v * (1.0 - alpha_v), trans_v)
+    trans_flat[flat_idx] = trans_after
+
+    active_grid = np.zeros(valid.shape, dtype=bool)
+    active_grid[valid] = active
+    counts = np.count_nonzero(active_grid, axis=(1, 2))
+
+    trans_grid = np.full(valid.shape, -np.inf)
+    trans_grid[valid] = trans_after
+    block_trans_max = trans_grid.max(axis=(1, 2))
+    return counts, int(np.count_nonzero(valid)), block_trans_max

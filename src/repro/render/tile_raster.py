@@ -16,6 +16,19 @@ motivation figures are built from: how many preprocessed Gaussians are never
 used (Figure 2a), how many times each Gaussian is re-loaded across tiles
 (Figure 2b), and how many pixels are alpha-evaluated versus actually blended
 (Table 1).
+
+Two execution backends are provided, selected by ``RenderConfig.backend``:
+
+* ``"vectorized"`` (default) — each tile's depth-ordered Gaussian list is
+  processed in batched chunks via :mod:`repro.render.kernels`, with the
+  early-termination point recovered exactly from a cumulative transmittance
+  product.
+* ``"reference"`` — the original per-pair Python loop, kept as the oracle
+  the vectorized backend is validated against.
+
+Both backends produce identical statistics counters; images agree to
+``atol=1e-9`` (the vectorized backend accumulates colour with a batched sum
+instead of a left fold).
 """
 
 from __future__ import annotations
@@ -27,8 +40,19 @@ import numpy as np
 from repro.gaussians.camera import Camera
 from repro.gaussians.covariance import mahalanobis_sq
 from repro.gaussians.model import GaussianScene
-from repro.render.blending import blend_pixels, compute_alpha, finalize_image
+from repro.render.blending import (
+    alpha_from_maha,
+    blend_pixels,
+    compute_alpha,
+    finalize_image,
+)
 from repro.render.common import RenderConfig
+from repro.render.kernels import (
+    TILE_CHUNK,
+    batched_tile_alpha,
+    sequential_blend,
+    subtile_evaluation_count,
+)
 from repro.render.preprocess import ProjectedGaussians, project_scene, tile_range
 
 
@@ -53,6 +77,10 @@ class TileWiseStats:
     #: remaining after a tile saturates are skipped, but their Gaussian data
     #: was still preprocessed and stored).
     num_pairs_processed: int = 0
+    #: Distinct Gaussians appearing in at least one processed pair.  Differs
+    #: from ``num_assigned`` when every pair of a Gaussian fell behind a
+    #: saturated tile's early exit.
+    num_distinct_processed: int = 0
     #: Gaussians that contributed at least one blended pixel ("Rendered").
     num_rendered: int = 0
     #: Per-pixel alpha evaluations performed.
@@ -70,11 +98,14 @@ class TileWiseStats:
 
         In the standard dataflow a Gaussian's parameters are re-fetched for
         every tile it is processed in, so this is processed pairs divided by
-        the number of distinct Gaussians processed (Figure 2b).
+        the number of distinct Gaussians processed (Figure 2b).  Gaussians
+        whose every pair was skipped by tile saturation never load their
+        parameters in the rendering loop and are excluded from the
+        denominator.
         """
-        if self.num_assigned == 0:
+        if self.num_distinct_processed == 0:
             return 0.0
-        return self.num_pairs_processed / self.num_assigned
+        return self.num_pairs_processed / self.num_distinct_processed
 
     @property
     def rendered_fraction(self) -> float:
@@ -102,8 +133,41 @@ def _build_tile_pairs(
     """Create (tile_id, gaussian_index) pairs sorted by (tile, depth).
 
     Returns ``(tile_ids, gaussian_rows, num_tiles_x)`` where ``gaussian_rows``
-    indexes into the projected arrays.
+    indexes into the projected arrays.  Pairs are built with a repeat/offset
+    construction instead of a per-Gaussian Python loop; the output (order
+    included) is identical to :func:`_build_tile_pairs_reference`.
     """
+    tx_min, tx_max, ty_min, ty_max = tile_range(
+        projected.means2d, projected.radii, width, height, tile_size
+    )
+    nx = (tx_max - tx_min).astype(np.int64)
+    ny = (ty_max - ty_min).astype(np.int64)
+    counts = nx * ny
+    total_pairs = int(counts.sum())
+    num_tiles_x = (width + tile_size - 1) // tile_size
+
+    gaussian_rows = np.repeat(np.arange(projected.num_visible, dtype=np.int64), counts)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    local = np.arange(total_pairs, dtype=np.int64) - np.repeat(starts, counts)
+    # Row-major (y outer, x inner) within each Gaussian, as the reference
+    # loop's ravel() of the (ty, tx) meshgrid produces.
+    nx_rep = np.repeat(nx, counts)
+    iy, ix = np.divmod(local, np.maximum(nx_rep, 1))
+    tile_ids = (np.repeat(ty_min, counts) + iy) * num_tiles_x + np.repeat(tx_min, counts) + ix
+
+    # Sort by (tile, depth) — the radix sort of the standard pipeline.
+    depths = projected.depths[gaussian_rows]
+    order = np.lexsort((depths, tile_ids))
+    return tile_ids[order], gaussian_rows[order], num_tiles_x
+
+
+def _build_tile_pairs_reference(
+    projected: ProjectedGaussians,
+    width: int,
+    height: int,
+    tile_size: int,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Per-Gaussian loop version of :func:`_build_tile_pairs` (oracle)."""
     tx_min, tx_max, ty_min, ty_max = tile_range(
         projected.means2d, projected.radii, width, height, tile_size
     )
@@ -129,10 +193,129 @@ def _build_tile_pairs(
     tile_ids = tile_ids[:cursor]
     gaussian_rows = gaussian_rows[:cursor]
 
-    # Sort by (tile, depth) — the radix sort of the standard pipeline.
     depths = projected.depths[gaussian_rows]
     order = np.lexsort((depths, tile_ids))
     return tile_ids[order], gaussian_rows[order], num_tiles_x
+
+
+def _render_tile_reference(
+    rows: np.ndarray,
+    projected: ProjectedGaussians,
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    tile_color: np.ndarray,
+    tile_trans: np.ndarray,
+    config: RenderConfig,
+    obb_subtile_skip: bool,
+    subtile: int,
+    stats: TileWiseStats,
+    processed_rows: np.ndarray,
+    rendered_rows: np.ndarray,
+) -> None:
+    """Original per-pair loop over one tile's depth-ordered Gaussians."""
+    for row in rows:
+        if np.all(tile_trans <= config.transmittance_eps):
+            break
+        stats.num_pairs_processed += 1
+        processed_rows[row] = True
+
+        mean = projected.means2d[row]
+        conic = projected.conics[row]
+        dx = grid_x - mean[0]
+        dy = grid_y - mean[1]
+
+        if obb_subtile_skip:
+            maha = mahalanobis_sq(conic[None, :], dx, dy)
+            evaluated = 0
+            for sy in range(0, dx.shape[0], subtile):
+                for sx in range(0, dx.shape[1], subtile):
+                    block = maha[sy : sy + subtile, sx : sx + subtile]
+                    if np.min(block) <= 9.0:  # 3-sigma footprint test
+                        evaluated += block.size
+            stats.alpha_evaluations += evaluated
+            alpha = alpha_from_maha(
+                maha,
+                projected.opacities[row],
+                alpha_min=config.alpha_min,
+                alpha_max=config.alpha_max,
+            )
+        else:
+            stats.alpha_evaluations += dx.size
+            alpha = compute_alpha(
+                conic,
+                float(projected.opacities[row]),
+                dx,
+                dy,
+                alpha_min=config.alpha_min,
+                alpha_max=config.alpha_max,
+            )
+
+        contributed = blend_pixels(
+            tile_color,
+            tile_trans,
+            alpha.reshape(-1),
+            projected.colors[row],
+            config.transmittance_eps,
+        )
+        stats.pixels_blended += contributed
+        if contributed:
+            rendered_rows[row] = True
+
+
+def _render_tile_vectorized(
+    rows: np.ndarray,
+    projected: ProjectedGaussians,
+    x0: int,
+    y0: int,
+    x1: int,
+    y1: int,
+    tile_color: np.ndarray,
+    tile_trans: np.ndarray,
+    config: RenderConfig,
+    obb_subtile_skip: bool,
+    subtile: int,
+    stats: TileWiseStats,
+    processed_rows: np.ndarray,
+    rendered_rows: np.ndarray,
+) -> None:
+    """Chunked, batched processing of one tile's depth-ordered Gaussians."""
+    num_pixels = (y1 - y0) * (x1 - x0)
+    pos = 0
+    while pos < rows.size:
+        # Saturation can land exactly on a chunk boundary (n_proc == chunk
+        # size); re-check before paying for another chunk of alpha work.
+        if pos and np.all(tile_trans <= config.transmittance_eps):
+            break
+        chunk = rows[pos : pos + TILE_CHUNK]
+        alpha, maha = batched_tile_alpha(
+            projected.means2d[chunk],
+            projected.conics[chunk],
+            projected.opacities[chunk],
+            x0,
+            y0,
+            x1,
+            y1,
+            config.alpha_min,
+            config.alpha_max,
+        )
+        n_proc, counts = sequential_blend(
+            tile_color,
+            tile_trans,
+            alpha.reshape(chunk.size, num_pixels),
+            projected.colors[chunk],
+            config.transmittance_eps,
+        )
+        stats.num_pairs_processed += n_proc
+        if obb_subtile_skip:
+            stats.alpha_evaluations += subtile_evaluation_count(maha[:n_proc], subtile)
+        else:
+            stats.alpha_evaluations += n_proc * num_pixels
+        stats.pixels_blended += int(counts[:n_proc].sum())
+        processed_rows[chunk[:n_proc]] = True
+        rendered_rows[chunk[:n_proc][counts[:n_proc] > 0]] = True
+        if n_proc < chunk.size:
+            break
+        pos += chunk.size
 
 
 def render_tilewise(
@@ -182,7 +365,8 @@ def render_tilewise(
     stats.num_tile_pairs = int(tile_ids.size)
     stats.num_assigned = int(np.unique(gaussian_rows).size) if tile_ids.size else 0
 
-    rendered_rows: set[int] = set()
+    processed_rows = np.zeros(projected.num_visible, dtype=bool)
+    rendered_rows = np.zeros(projected.num_visible, dtype=bool)
     subtile = max(tile_size // 2, 1)
 
     unique_tiles, tile_starts = np.unique(tile_ids, return_index=True)
@@ -196,64 +380,53 @@ def render_tilewise(
         ty, tx = divmod(int(tile_id), num_tiles_x)
         x0, y0 = tx * tile_size, ty * tile_size
         x1, y1 = min(x0 + tile_size, width), min(y0 + tile_size, height)
-        xs = np.arange(x0, x1, dtype=np.float64)
-        ys = np.arange(y0, y1, dtype=np.float64)
-        grid_x, grid_y = np.meshgrid(xs, ys)
 
         tile_color = color_accum[y0:y1, x0:x1].reshape(-1, 3)
         tile_trans = transmittance[y0:y1, x0:x1].reshape(-1)
 
-        for row in rows:
-            if np.all(tile_trans <= config.transmittance_eps):
-                break
-            stats.num_pairs_processed += 1
-
-            mean = projected.means2d[row]
-            conic = projected.conics[row]
-            dx = grid_x - mean[0]
-            dy = grid_y - mean[1]
-
-            if obb_subtile_skip:
-                maha = mahalanobis_sq(conic[None, :], dx, dy)
-                evaluated = 0
-                for sy in range(0, dx.shape[0], subtile):
-                    for sx in range(0, dx.shape[1], subtile):
-                        block = maha[sy : sy + subtile, sx : sx + subtile]
-                        if np.min(block) <= 9.0:  # 3-sigma footprint test
-                            evaluated += block.size
-                stats.alpha_evaluations += evaluated
-                alpha = np.minimum(
-                    projected.opacities[row] * np.exp(-0.5 * maha), config.alpha_max
-                )
-                alpha = np.where(alpha < config.alpha_min, 0.0, alpha)
-            else:
-                stats.alpha_evaluations += dx.size
-                alpha = compute_alpha(
-                    conic,
-                    float(projected.opacities[row]),
-                    dx,
-                    dy,
-                    alpha_min=config.alpha_min,
-                    alpha_max=config.alpha_max,
-                )
-
-            contributed = blend_pixels(
+        if config.backend == "reference":
+            xs = np.arange(x0, x1, dtype=np.float64)
+            ys = np.arange(y0, y1, dtype=np.float64)
+            grid_x, grid_y = np.meshgrid(xs, ys)
+            _render_tile_reference(
+                rows,
+                projected,
+                grid_x,
+                grid_y,
                 tile_color,
                 tile_trans,
-                alpha.reshape(-1),
-                projected.colors[row],
-                config.transmittance_eps,
+                config,
+                obb_subtile_skip,
+                subtile,
+                stats,
+                processed_rows,
+                rendered_rows,
             )
-            stats.pixels_blended += contributed
-            if contributed:
-                rendered_rows.add(int(row))
+        else:
+            _render_tile_vectorized(
+                rows,
+                projected,
+                x0,
+                y0,
+                x1,
+                y1,
+                tile_color,
+                tile_trans,
+                config,
+                obb_subtile_skip,
+                subtile,
+                stats,
+                processed_rows,
+                rendered_rows,
+            )
 
         color_accum[y0:y1, x0:x1] = tile_color.reshape(y1 - y0, x1 - x0, 3)
         transmittance[y0:y1, x0:x1] = tile_trans.reshape(y1 - y0, x1 - x0)
 
-    stats.num_rendered = len(rendered_rows)
-    if rendered_rows:
-        stats.rendered_indices = projected.source_indices[sorted(rendered_rows)]
+    stats.num_distinct_processed = int(np.count_nonzero(processed_rows))
+    stats.num_rendered = int(np.count_nonzero(rendered_rows))
+    if stats.num_rendered:
+        stats.rendered_indices = projected.source_indices[np.nonzero(rendered_rows)[0]]
 
     image = finalize_image(color_accum, transmittance, config.background)
     return TileWiseResult(image=image, stats=stats, projected=projected)

@@ -67,6 +67,44 @@ class TestPixelLevelAlgorithm1:
         assert mask.size == 0
 
 
+class TestStartPixelConvention:
+    def test_floor_start_finds_footprint_that_round_would_miss(self):
+        # Algorithm 1 starts at the pixel *containing* the projected centre
+        # (floor), not the nearest sample (round).  This footprint is a
+        # single pixel at (0, 10): with floor the traversal starts there and
+        # finds it; banker's rounding would start at x=11, fail the alpha
+        # condition and return an empty mask.
+        centre = np.array([10.7, -3.0])
+        conic = np.array([0.3, 0.05, 0.3])
+        opacity = 0.0153
+        chi2 = 2.0 * np.log(opacity * 255.0)
+        maha_floor = conic[0] * 0.7**2 + 2 * conic[1] * (-0.7) * 3.0 + conic[2] * 9.0
+        maha_round = conic[0] * 0.3**2 + 2 * conic[1] * 0.3 * 3.0 + conic[2] * 9.0
+        # The scenario is only meaningful if the threshold separates the two
+        # candidate start pixels.
+        assert maha_floor <= chi2 < maha_round
+
+        mask, evaluations = identify_influence_pixels(centre, conic, opacity, 64, 64)
+        brute = alpha_footprint_mask(centre, conic, opacity, 64, 64)
+        assert mask[0, 10]
+        assert np.array_equal(mask, brute)
+        assert evaluations > 0
+
+    def test_fractional_centre_starts_in_containing_block(self):
+        # Centre x = 15.6 lies in pixel 15 => block 1 (block_size 8); a
+        # rounded start (pixel 16 => block 2) begins one block too far right
+        # but must still not change the identified block set.
+        centre = np.array([15.6, 12.0])
+        conic = np.array([0.3, 0.0, 0.3])
+        result = identify_influence_blocks(centre, conic, 0.9, 64, 64, block_size=8)
+        brute = alpha_footprint_mask(centre, conic, 0.9, 64, 64)
+        covered = np.zeros_like(brute)
+        for by, bx in result.blocks:
+            covered[by * 8 : (by + 1) * 8, bx * 8 : (bx + 1) * 8] = True
+        assert np.all(~brute | covered)
+        assert (12 // 8, 15 // 8) in result.blocks
+
+
 class TestBlockLevelIdentification:
     def test_blocks_cover_every_influenced_pixel(self):
         width = height = 64

@@ -114,3 +114,54 @@ class TestOcclusionBehaviour:
         stats = render_gaussianwise(scene, front_camera, enable_cc=True).stats
         assert stats.num_sh_evaluated < near_count + far_count
         assert stats.num_skipped_tmask + stats.num_skipped_by_termination > 0
+
+
+class TestSkipAccounting:
+    def test_empty_footprint_is_not_a_tmask_skip(self, front_camera):
+        # A Gaussian whose centre projects far off-screen: the clamped start
+        # block fails the alpha condition, so its footprint is empty.  That
+        # must be recorded as an empty footprint, not as a transmittance-mask
+        # saving (nothing was ever saturated).
+        scene = GaussianScene.from_flat_colors(
+            means=np.array([[-2.7, 0.0, 0.0]]),
+            scales=np.array([[0.3, 0.3, 0.3]]),
+            quaternions=np.array([[1.0, 0.0, 0.0, 0.0]]),
+            opacities=np.array([0.05]),
+            rgb=np.array([[0.5, 0.5, 0.5]]),
+        )
+        config = RenderConfig(radius_rule="3sigma")
+        stats = render_gaussianwise(scene, front_camera, config, enable_cc=True).stats
+        assert stats.num_screen_passed == 1
+        assert stats.num_empty_footprint == 1
+        assert stats.num_skipped_tmask == 0
+        assert stats.preprocessing_savings == 0.0
+
+    def test_preprocessing_savings_excludes_empty_footprints(self, smoke_scene, smoke_camera):
+        stats = render_gaussianwise(smoke_scene, smoke_camera, enable_cc=True).stats
+        expected = (
+            stats.num_skipped_by_termination + stats.num_skipped_tmask
+        ) / max(stats.num_stage1_passed, 1)
+        assert stats.preprocessing_savings == pytest.approx(expected)
+        # The skip categories partition the screen-passed, non-rendered set.
+        assert (
+            stats.num_sh_evaluated
+            + stats.num_skipped_tmask
+            + stats.num_empty_footprint
+            == stats.num_screen_passed
+        )
+
+    def test_without_cc_empty_footprints_still_counted(self, front_camera):
+        scene = GaussianScene.from_flat_colors(
+            means=np.array([[-2.7, 0.0, 0.0]]),
+            scales=np.array([[0.3, 0.3, 0.3]]),
+            quaternions=np.array([[1.0, 0.0, 0.0, 0.0]]),
+            opacities=np.array([0.05]),
+            rgb=np.array([[0.5, 0.5, 0.5]]),
+        )
+        config = RenderConfig(radius_rule="3sigma")
+        stats = render_gaussianwise(scene, front_camera, config, enable_cc=False).stats
+        # Without CC the SH colour is evaluated regardless, but the footprint
+        # classification is unchanged.
+        assert stats.num_skipped_tmask == 0
+        assert stats.num_empty_footprint == stats.num_screen_passed == 1
+        assert stats.num_sh_evaluated == 1

@@ -60,6 +60,24 @@ class TestStatisticsConsistency:
         stats = render_tilewise(smoke_scene, smoke_camera).stats
         assert stats.avg_loads_per_gaussian >= 1.0 or stats.num_assigned == 0
 
+    def test_distinct_processed_bounds(self, smoke_scene, smoke_camera):
+        stats = render_tilewise(smoke_scene, smoke_camera).stats
+        assert stats.num_distinct_processed <= stats.num_assigned
+        assert stats.num_distinct_processed <= stats.num_pairs_processed
+        assert stats.num_rendered <= stats.num_distinct_processed
+
+    def test_average_loads_uses_distinct_processed_denominator(self):
+        from repro.render.tile_raster import TileWiseStats
+
+        # 30 processed pairs from 10 distinct Gaussians, while 15 Gaussians
+        # were assigned overall: the Figure 2b re-load factor divides by the
+        # Gaussians actually loaded by the rendering loop, not by everyone
+        # who was assigned a (possibly skipped) pair.
+        stats = TileWiseStats(
+            num_assigned=15, num_pairs_processed=30, num_distinct_processed=10
+        )
+        assert stats.avg_loads_per_gaussian == 3.0
+
     def test_rendered_fraction_between_zero_and_one(self, smoke_scene, smoke_camera):
         stats = render_tilewise(smoke_scene, smoke_camera).stats
         assert 0.0 <= stats.rendered_fraction <= 1.0
