@@ -1,9 +1,25 @@
-"""Setuptools shim for environments without the ``wheel`` package.
+"""Setuptools configuration (also the legacy path for offline ``pip install -e .``).
 
-``pip install -e .`` uses this legacy path when PEP 660 editable builds are
-unavailable offline.
+Declares the ``src/`` package layout and the ``repro-serve`` console script
+fronting the render-farm serving subsystem (``python -m repro.serve``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-gcc",
+    version="1.0.0",
+    description=(
+        "Reproduction of GCC: a 3DGS inference architecture with Gaussian-wise "
+        "and cross-stage conditional processing"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.serve.__main__:main",
+        ]
+    },
+)

@@ -3,8 +3,13 @@
 Several experiments need the same underlying artefacts (e.g. the tile-wise
 render of Train feeds Figure 2, Table 1, Table 2, Figure 10 and Figure 12),
 so this module memoises them per evaluation setup.  All functions are pure
-with respect to their arguments; the cache can be cleared with
-:func:`clear_cache`.
+with respect to their arguments; the memo store is a bounded
+:class:`repro.serve.cache.LRUCache` (so a long-lived process cannot grow it
+without limit) and can be cleared with :func:`clear_cache`.
+
+Single-frame rendering is delegated to :func:`repro.serve.farm.render_frame`
+— the same primitive the render-farm workers execute — so a frame produced
+here is bitwise identical to the farm's output for the same camera.
 """
 
 from __future__ import annotations
@@ -18,11 +23,17 @@ from repro.eval.scenes import eval_preset
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianScene
 from repro.gaussians.synthetic import make_camera, make_scene
-from repro.render.common import RenderConfig
-from repro.render.gaussian_raster import GaussianWiseResult, render_gaussianwise
-from repro.render.tile_raster import TileWiseResult, render_tilewise
+from repro.render.gaussian_raster import GaussianWiseResult
+from repro.render.tile_raster import TileWiseResult
+from repro.serve.cache import LRUCache
+from repro.serve.farm import FrameSpec, render_frame
 
-_CACHE: dict[tuple, object] = {}
+#: Bound on resident memoised artefacts.  A full six-scene evaluation sweep
+#: keeps well under this; the bound exists so a long-running serving process
+#: that touches many (setup, config) combinations cannot grow without limit.
+CACHE_MAXSIZE = 256
+
+_CACHE = LRUCache(maxsize=CACHE_MAXSIZE)
 
 
 @dataclass(frozen=True)
@@ -41,10 +52,13 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def cache() -> LRUCache:
+    """The artifact cache itself (for inspection: size, hit rate, keys)."""
+    return _CACHE
+
+
 def _cached(key: tuple, factory):
-    if key not in _CACHE:
-        _CACHE[key] = factory()
-    return _CACHE[key]
+    return _CACHE.get_or_create(key, factory)
 
 
 def load_scene_and_camera(setup: EvalSetup) -> tuple[GaussianScene, Camera]:
@@ -62,21 +76,32 @@ def load_scene_and_camera(setup: EvalSetup) -> tuple[GaussianScene, Camera]:
 
 
 def run_tilewise(
-    setup: EvalSetup, tile_size: int = 16, backend: str = "vectorized"
+    setup: EvalSetup,
+    tile_size: int = 16,
+    backend: str = "vectorized",
+    obb_subtile_skip: bool = True,
 ) -> TileWiseResult:
     """Standard-dataflow render of a setup (cached).
 
     ``backend`` selects the rasterisation engine (``"vectorized"`` or
     ``"reference"``); both yield identical statistics, so every experiment
-    built on this function is backend-independent.
+    built on this function is backend-independent.  ``obb_subtile_skip``
+    toggles GSCore's OBB subtile test in the alpha-evaluation accounting
+    (the image is unaffected) and is part of the cache key, so calls with
+    different settings never alias.
     """
 
     def build():
         scene, camera = load_scene_and_camera(setup)
-        config = RenderConfig(tile_size=tile_size, radius_rule="3sigma", backend=backend)
-        return render_tilewise(scene, camera, config, obb_subtile_skip=True)
+        spec = FrameSpec(
+            dataflow="tilewise",
+            backend=backend,
+            tile_size=tile_size,
+            obb_subtile_skip=obb_subtile_skip,
+        )
+        return render_frame(scene, camera, spec)
 
-    return _cached(("tilewise", setup, tile_size, backend), build)
+    return _cached(("tilewise", setup, tile_size, backend, obb_subtile_skip), build)
 
 
 def run_gaussianwise(
@@ -95,12 +120,14 @@ def run_gaussianwise(
 
     def build():
         scene, camera = load_scene_and_camera(setup)
-        config = RenderConfig(
-            radius_rule="omega-sigma", block_size=block_size, backend=backend
+        spec = FrameSpec(
+            dataflow="gaussianwise",
+            backend=backend,
+            enable_cc=enable_cc,
+            block_size=block_size,
+            boundary_mode=boundary_mode,
         )
-        return render_gaussianwise(
-            scene, camera, config, enable_cc=enable_cc, boundary_mode=boundary_mode
-        )
+        return render_frame(scene, camera, spec)
 
     return _cached(
         ("gaussianwise", setup, enable_cc, block_size, boundary_mode, backend), build
@@ -108,7 +135,12 @@ def run_gaussianwise(
 
 
 def run_gscore_sim(setup: EvalSetup, config: GScoreConfig | None = None) -> SimulationReport:
-    """GSCore accelerator simulation of a setup (cached for the default config)."""
+    """GSCore accelerator simulation of a setup (cached per configuration).
+
+    ``config`` participates in the cache key, so :class:`GScoreConfig` must
+    stay hashable (it is a frozen dataclass); distinct configurations are
+    memoised independently.
+    """
     config = config or GScoreConfig()
 
     def build():
@@ -120,7 +152,11 @@ def run_gscore_sim(setup: EvalSetup, config: GScoreConfig | None = None) -> Simu
 
 
 def run_gcc_sim(setup: EvalSetup, config: GccConfig | None = None) -> SimulationReport:
-    """GCC accelerator simulation of a setup (cached per configuration)."""
+    """GCC accelerator simulation of a setup (cached per configuration).
+
+    As with :func:`run_gscore_sim`, ``config`` is part of the cache key and
+    :class:`GccConfig` must stay hashable (frozen dataclass).
+    """
     config = config or GccConfig()
 
     def build():

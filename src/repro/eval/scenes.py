@@ -12,7 +12,7 @@ expected to match the 28 nm silicon.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.gaussians.synthetic import BENCHMARK_SCENES
 
@@ -40,10 +40,19 @@ EVAL_SCENES: dict[str, EvalScenePreset] = {
     "drjohnson": EvalScenePreset("drjohnson", scale=0.004, image_scale=0.12),
 }
 
+def quick_preset(preset: EvalScenePreset) -> EvalScenePreset:
+    """Derive the reduced smoke-run variant of ``preset``.
+
+    Uses :func:`dataclasses.replace` so every field other than the two
+    scale factors (``view_index`` today, anything added later) carries over
+    unchanged.
+    """
+    return replace(preset, scale=preset.scale * 0.25, image_scale=preset.image_scale * 0.6)
+
+
 #: Reduced presets for fast smoke runs (tests and --quick benchmarking).
 QUICK_SCENES: dict[str, EvalScenePreset] = {
-    name: EvalScenePreset(name, scale=preset.scale * 0.25, image_scale=preset.image_scale * 0.6)
-    for name, preset in EVAL_SCENES.items()
+    name: quick_preset(preset) for name, preset in EVAL_SCENES.items()
 }
 
 #: The three scenes the paper uses for breakdown/ablation studies (Fig. 11, 15).

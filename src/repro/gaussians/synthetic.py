@@ -304,6 +304,20 @@ def make_scene(name: str, scale: float = 0.05, seed: int | None = None) -> Gauss
     )
 
 
+def scaled_image_size(spec: SceneSpec, image_scale: float) -> tuple[int, int]:
+    """The preset image resolution scaled by ``image_scale``.
+
+    The single source of the rounding/minimum rule (``max(8, round(...))``),
+    shared by :func:`make_camera` and every serving-trajectory camera so all
+    paths render a preset at exactly the same resolution.
+    """
+    width, height = spec.image_size
+    return (
+        max(8, int(round(width * image_scale))),
+        max(8, int(round(height * image_scale))),
+    )
+
+
 def make_camera(
     name: str,
     view_index: int = 0,
@@ -320,9 +334,7 @@ def make_camera(
     if num_views <= 0:
         raise ValueError("num_views must be positive")
     angle = 2.0 * np.pi * (view_index % num_views) / num_views
-    width, height = spec.image_size
-    width = max(8, int(round(width * image_scale)))
-    height = max(8, int(round(height * image_scale)))
+    width, height = scaled_image_size(spec, image_scale)
 
     if spec.indoor:
         eye = np.array(

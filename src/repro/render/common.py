@@ -23,6 +23,9 @@ TILE_SIZE = 16
 #: Pixel-block edge length used by GCC's Alpha Unit (an 8x8 PE array).
 BLOCK_SIZE = 8
 
+#: The rasterisation engines every renderer can run on.
+BACKENDS: tuple[str, ...] = ("vectorized", "reference")
+
 
 @dataclass(frozen=True)
 class RenderConfig:
@@ -74,8 +77,8 @@ class RenderConfig:
     backend: str = "vectorized"
 
     def __post_init__(self) -> None:
-        if self.backend not in ("vectorized", "reference"):
-            raise ValueError("backend must be 'vectorized' or 'reference'")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
         if self.tile_size <= 0 or self.block_size <= 0:
             raise ValueError("tile_size and block_size must be positive")
         if not 0.0 < self.alpha_min < self.alpha_max <= 1.0:

@@ -1,0 +1,55 @@
+"""Render-farm serving subsystem: trajectory workloads over a worker pool.
+
+This package turns the single-frame evaluation stack into a frame-streaming
+render service:
+
+* :mod:`repro.serve.trajectories` — parameterised camera paths (orbit,
+  dolly, walkthrough, random-jitter) that expand any evaluation preset into
+  an N-frame :class:`~repro.serve.trajectories.RenderJob`;
+* :mod:`repro.serve.farm` — the :class:`~repro.serve.farm.RenderFarm`
+  scheduler, which shards a job's frames across a ``multiprocessing`` pool
+  (workers hold the scene resident) or falls back to an in-process
+  sequential path, and aggregates images, statistics counters and
+  throughput/latency figures into a :class:`~repro.serve.farm.JobResult`;
+* :mod:`repro.serve.cache` — the bounded :class:`~repro.serve.cache.LRUCache`
+  backing the evaluation runner's artifact memos;
+* ``python -m repro.serve`` (also installed as ``repro-serve``) — the
+  command-line front end.
+
+Quickstart::
+
+    from repro.serve import RenderFarm, RenderJob, make_trajectory
+
+    job = RenderJob("train", make_trajectory("orbit", num_frames=16))
+    result = RenderFarm(num_workers=4).run(job)
+    print(result.frames_per_second, result.p95_ms)
+"""
+
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.farm import (
+    FrameRecord,
+    FrameSpec,
+    JobResult,
+    RenderFarm,
+    render_frame,
+)
+from repro.serve.trajectories import (
+    TRAJECTORY_KINDS,
+    RenderJob,
+    Trajectory,
+    make_trajectory,
+)
+
+__all__ = [
+    "CacheStats",
+    "FrameRecord",
+    "FrameSpec",
+    "JobResult",
+    "LRUCache",
+    "RenderFarm",
+    "RenderJob",
+    "TRAJECTORY_KINDS",
+    "Trajectory",
+    "make_trajectory",
+    "render_frame",
+]

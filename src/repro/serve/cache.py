@@ -1,0 +1,131 @@
+"""Bounded artifact cache for renders, scenes and simulation reports.
+
+The evaluation runner (:mod:`repro.eval.runner`) and the render farm both
+memoise expensive artefacts — synthetic scenes, rendered frames, accelerator
+reports — under hashable tuple keys.  The seed implementation used an
+unbounded module-level ``dict``, which is fine for a one-shot experiment
+sweep but not for a long-lived serving process that streams thousands of
+frames: every distinct (scene, camera, config) combination would stay
+resident forever.
+
+:class:`LRUCache` keeps the same ``key -> artifact`` contract but bounds the
+number of resident entries, evicting the least-recently-used artifact once
+the bound is exceeded.  Hits refresh recency; overwriting an existing key
+refreshes recency too.  A ``maxsize`` of ``None`` disables eviction
+entirely, restoring the unbounded seed behaviour for callers that want it;
+the evaluation runner itself uses a 256-entry bound
+(:data:`repro.eval.runner.CACHE_MAXSIZE`), comfortably above what a full
+six-scene evaluation sweep keeps live.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+#: Sentinel distinguishing "key absent" from a cached ``None``.
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`LRUCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class LRUCache:
+    """A bounded mapping from hashable keys to arbitrary artifacts.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of resident entries.  ``None`` means unbounded
+        (no eviction ever happens); otherwise must be positive.
+
+    Notes
+    -----
+    The cache is deliberately not thread-safe: the evaluation harness and
+    the render farm's result aggregation both run in a single process and
+    the farm workers hold no cache at all (each worker keeps exactly one
+    scene, shipped explicitly at pool start).
+    """
+
+    def __init__(self, maxsize: int | None = 128) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive or None (unbounded)")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    @property
+    def maxsize(self) -> int | None:
+        """The eviction bound (``None`` when unbounded)."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate keys from least- to most-recently used."""
+        return iter(self._entries)
+
+    def keys(self) -> list[Hashable]:
+        """All resident keys, least-recently-used first."""
+        return list(self._entries)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the artifact under ``key`` (refreshing recency) or ``default``."""
+        if key not in self._entries:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if self._maxsize is not None and len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``key``, building it on a miss.
+
+        The factory runs outside the cache bookkeeping, so a factory that
+        recursively fills other keys (as the evaluation runner's nested
+        memos do) observes a consistent cache.
+        """
+        value = self.get(key, default=_MISSING)
+        if value is _MISSING:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :attr:`stats`)."""
+        self._entries.clear()

@@ -1,0 +1,368 @@
+"""Render farm: frame-parallel scheduling of trajectory jobs.
+
+A :class:`RenderFarm` takes a :class:`~repro.serve.trajectories.RenderJob`
+(scene preset x camera trajectory x dataflow), shards its frames across a
+``multiprocessing`` worker pool and aggregates the per-frame images,
+statistics counters and latencies into a :class:`JobResult`.
+
+Design points:
+
+* **Workers build the scene once.**  The parent generates the synthetic
+  scene, serialises it (lossless ``.npz`` by default) and every worker
+  deserialises it a single time in its pool initialiser; after that only
+  cameras (a 4x4 matrix plus intrinsics) and finished frames cross the
+  process boundary.  This mirrors how a real 3DGS service keeps the model
+  resident while viewpoints stream in.
+* **Determinism.**  Rendering is a pure function of (scene, camera, spec),
+  and ``.npz`` shipping is bit-exact for float64 arrays, so farm output is
+  bitwise identical to the in-process sequential fallback and to
+  single-frame :mod:`repro.eval.runner` renders of the same cameras —
+  statistics counters included.  (The human-readable ``text`` scene format
+  rounds to 9 significant digits and is intended for debugging, not for
+  bit-exact serving.)
+* **Sequential fallback.**  ``num_workers <= 1`` renders in-process with no
+  serialisation or pool, which is both the baseline the farm speedup is
+  measured against and the portable path for single-CPU environments.
+
+:func:`render_frame` is the shared single-frame entry point: the evaluation
+runner's memoised ``run_tilewise``/``run_gaussianwise`` and the farm workers
+all call it with the same :class:`FrameSpec`, which is what makes the
+bitwise-equality guarantee structural rather than coincidental.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.io import (
+    load_scene_npz,
+    load_scene_text,
+    save_scene_npz,
+    save_scene_text,
+)
+from repro.gaussians.model import GaussianScene
+from repro.gaussians.synthetic import make_scene
+from repro.render.common import RenderConfig
+from repro.render.gaussian_raster import GaussianWiseResult, render_gaussianwise
+from repro.render.tile_raster import TileWiseResult, render_tilewise
+
+# Import-cycle invariants (repro.eval.runner imports render_frame from this
+# module): (a) this module must not import repro.serve.trajectories or
+# anything under repro.eval at module level — a chain farm -> trajectories ->
+# eval -> runner would re-enter farm before FrameSpec exists; (b) neither
+# repro.eval.scenes nor repro.serve.trajectories may ever import
+# repro.eval.runner.  RenderJob appears below in annotations only, which
+# PEP 563 keeps as strings.
+
+FrameResult = Union[TileWiseResult, GaussianWiseResult]
+
+#: The rendering dataflows a job can request (standard tile-wise pipeline or
+#: the paper's Gaussian-wise pipeline).
+DATAFLOWS: tuple[str, ...] = ("tilewise", "gaussianwise")
+
+#: Per-frame stats fields that are frame-invariant configuration, not
+#: accumulable work counters.  When adding a field to TileWiseStats or
+#: GaussianWiseStats, classify it here if it is config-valued — the exact
+#: counter sets are pinned by tests/test_serve_farm.py
+#: (``test_counter_field_classification_is_exhaustive``), which fails on any
+#: unclassified addition.
+_NON_COUNTER_FIELDS = frozenset(
+    {"width", "height", "tile_size", "block_size", "enable_cc"}
+)
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity/cgroup aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - platforms without affinity
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """Render parameters of one frame, mirroring the evaluation runner.
+
+    ``tilewise`` frames use ``tile_size``/``obb_subtile_skip`` and the
+    conventional 3-sigma radius rule; ``gaussianwise`` frames use
+    ``enable_cc``/``block_size``/``boundary_mode`` and the paper's
+    omega-sigma rule — exactly the configurations
+    :func:`repro.eval.runner.run_tilewise` and
+    :func:`repro.eval.runner.run_gaussianwise` build.
+    """
+
+    dataflow: str = "tilewise"
+    backend: str = "vectorized"
+    tile_size: int = 16
+    obb_subtile_skip: bool = True
+    enable_cc: bool = True
+    block_size: int = 8
+    boundary_mode: str = "alpha"
+
+    def __post_init__(self) -> None:
+        if self.dataflow not in DATAFLOWS:
+            raise ValueError(f"dataflow must be one of {DATAFLOWS}")
+
+    @classmethod
+    def for_job(cls, job: RenderJob, **overrides) -> "FrameSpec":
+        """The spec a :class:`RenderJob` renders its frames with."""
+        return cls(dataflow=job.dataflow, backend=job.backend, **overrides)
+
+
+def render_frame(scene: GaussianScene, camera: Camera, spec: FrameSpec) -> FrameResult:
+    """Render one frame of ``scene`` from ``camera`` under ``spec``.
+
+    This is the single-frame primitive shared by the evaluation runner and
+    the farm workers; both dataflows construct their :class:`RenderConfig`
+    here and nowhere else.
+    """
+    if spec.dataflow == "tilewise":
+        config = RenderConfig(
+            tile_size=spec.tile_size, radius_rule="3sigma", backend=spec.backend
+        )
+        return render_tilewise(
+            scene, camera, config, obb_subtile_skip=spec.obb_subtile_skip
+        )
+    config = RenderConfig(
+        radius_rule="omega-sigma", block_size=spec.block_size, backend=spec.backend
+    )
+    return render_gaussianwise(
+        scene,
+        camera,
+        config,
+        enable_cc=spec.enable_cc,
+        boundary_mode=spec.boundary_mode,
+    )
+
+
+@dataclass
+class FrameRecord:
+    """One finished frame: image, statistics and render latency."""
+
+    index: int
+    image: np.ndarray
+    stats: object
+    render_ms: float
+
+
+@dataclass
+class JobResult:
+    """Aggregated output of one render-farm job."""
+
+    job: RenderJob
+    spec: FrameSpec
+    frames: list[FrameRecord]
+    #: Workers the job actually ran with (0 = in-process sequential path).
+    num_workers: int
+    #: End-to-end wall time, including pool start-up and scene shipping.
+    wall_seconds: float
+
+    # ------------------------------------------------------------------
+    # Throughput / latency accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def frames_per_second(self) -> float:
+        """End-to-end throughput of the job."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.num_frames / self.wall_seconds
+
+    @property
+    def frame_times_ms(self) -> np.ndarray:
+        """Per-frame render latencies (worker-side, excludes queueing)."""
+        return np.array([f.render_ms for f in self.frames])
+
+    @property
+    def p50_ms(self) -> float:
+        """Median per-frame render latency."""
+        return float(np.percentile(self.frame_times_ms, 50)) if self.frames else 0.0
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile per-frame render latency."""
+        return float(np.percentile(self.frame_times_ms, 95)) if self.frames else 0.0
+
+    def aggregate_counters(self) -> dict[str, int]:
+        """Sum every integer work counter across the job's frames.
+
+        Configuration fields (image size, tile/block size, CC flag) and
+        array-valued fields are excluded; what remains are the additive
+        per-frame work counters (Gaussians preprocessed, alpha evaluations,
+        pixels blended, ...) totalled over the whole trajectory.
+        """
+        totals: dict[str, int] = {}
+        for record in self.frames:
+            for f in dataclasses.fields(record.stats):
+                if f.name in _NON_COUNTER_FIELDS:
+                    continue
+                value = getattr(record.stats, f.name)
+                if isinstance(value, (bool, np.ndarray)):
+                    continue
+                if isinstance(value, (int, np.integer)):
+                    totals[f.name] = totals.get(f.name, 0) + int(value)
+        return totals
+
+    def summary(self) -> dict:
+        """A JSON-serialisable report of the job."""
+        preset = self.job.preset()
+        return {
+            "scene": self.job.scene,
+            "quick": self.job.quick,
+            "trajectory": self.job.trajectory.kind,
+            "dataflow": self.job.dataflow,
+            "backend": self.spec.backend,
+            "num_frames": self.num_frames,
+            "num_workers": self.num_workers,
+            "image_size": [self.frames[0].stats.width, self.frames[0].stats.height]
+            if self.frames
+            else [0, 0],
+            "scene_scale": preset.scale,
+            "wall_seconds": self.wall_seconds,
+            "frames_per_second": self.frames_per_second,
+            "p50_frame_ms": self.p50_ms,
+            "p95_frame_ms": self.p95_ms,
+            "counters": self.aggregate_counters(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery
+# ----------------------------------------------------------------------
+#: Per-worker state: the deserialised scene and the job's frame spec, set
+#: once by :func:`_worker_init` when the pool starts.
+_WORKER_STATE: dict = {}
+
+_SCENE_LOADERS = {"npz": load_scene_npz, "text": load_scene_text}
+_SCENE_SAVERS = {"npz": save_scene_npz, "text": save_scene_text}
+
+
+def _worker_init(scene_path: str, scene_format: str, spec: FrameSpec) -> None:
+    """Pool initialiser: load the shipped scene exactly once per worker."""
+    _WORKER_STATE["scene"] = _SCENE_LOADERS[scene_format](scene_path)
+    _WORKER_STATE["spec"] = spec
+
+
+def _worker_render(task: tuple[int, Camera]) -> FrameRecord:
+    """Render one queued frame against the worker-resident scene."""
+    return _render_one(_WORKER_STATE["scene"], task, _WORKER_STATE["spec"])
+
+
+class RenderFarm:
+    """Frame-parallel scheduler for trajectory render jobs.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes to shard frames across.  ``0`` or ``1`` selects the
+        in-process sequential fallback; ``None`` uses the number of CPUs
+        actually usable by this process (scheduler affinity / cgroup limits
+        respected, not the host core count).
+    mp_context:
+        ``multiprocessing`` start-method name (``"fork"``, ``"spawn"``,
+        ``"forkserver"``) or ``None`` for the platform default.  Spawned
+        workers re-import :mod:`repro`, so the package must be importable
+        (installed or on ``PYTHONPATH``) when using ``"spawn"``.
+    scene_format:
+        Serialisation used to ship the parent-built scene to workers:
+        ``"npz"`` (default, bit-exact) or ``"text"`` (9-significant-digit
+        debug format; worker renders then match an in-process render of the
+        round-tripped scene, not of the original).
+    """
+
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        mp_context: str | None = None,
+        scene_format: str = "npz",
+    ) -> None:
+        if num_workers is None:
+            num_workers = usable_cpu_count()
+        if num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if scene_format not in _SCENE_LOADERS:
+            raise ValueError(f"scene_format must be one of {sorted(_SCENE_LOADERS)}")
+        self.num_workers = num_workers
+        self.mp_context = mp_context
+        self.scene_format = scene_format
+
+    # ------------------------------------------------------------------
+    def run(self, job: RenderJob, scene: GaussianScene | None = None) -> JobResult:
+        """Render every frame of ``job`` and aggregate the results.
+
+        Parameters
+        ----------
+        job:
+            The trajectory job to render.
+        scene:
+            Optional pre-built scene.  By default the job's evaluation
+            preset is instantiated exactly as :mod:`repro.eval.runner` does
+            (``make_scene(preset.name, scale=preset.scale)``).
+        """
+        preset = job.preset()
+        if scene is None:
+            scene = make_scene(preset.name, scale=preset.scale)
+        cameras = job.cameras()
+        spec = FrameSpec.for_job(job)
+        tasks = list(enumerate(cameras))
+
+        start = time.perf_counter()
+        if self.num_workers <= 1 or len(tasks) <= 1:
+            frames = [_render_one(scene, task, spec) for task in tasks]
+            effective_workers = 0
+        else:
+            frames = self._run_pool(scene, tasks, spec)
+            effective_workers = min(self.num_workers, len(tasks))
+        wall = time.perf_counter() - start
+
+        frames.sort(key=lambda record: record.index)
+        return JobResult(
+            job=job,
+            spec=spec,
+            frames=frames,
+            num_workers=effective_workers,
+            wall_seconds=wall,
+        )
+
+    def _run_pool(
+        self, scene: GaussianScene, tasks: list[tuple[int, Camera]], spec: FrameSpec
+    ) -> list[FrameRecord]:
+        import multiprocessing
+
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.num_workers, len(tasks))
+        suffix = ".npz" if self.scene_format == "npz" else ".txt"
+        with tempfile.TemporaryDirectory(prefix="repro-farm-") as tmp:
+            scene_path = Path(tmp) / f"scene{suffix}"
+            _SCENE_SAVERS[self.scene_format](scene, scene_path)
+            with context.Pool(
+                processes=workers,
+                initializer=_worker_init,
+                initargs=(str(scene_path), self.scene_format, spec),
+            ) as pool:
+                return pool.map(_worker_render, tasks, chunksize=1)
+
+
+def _render_one(
+    scene: GaussianScene, task: tuple[int, Camera], spec: FrameSpec
+) -> FrameRecord:
+    """Render and time one frame — the unit of work on every scheduling path."""
+    index, camera = task
+    start = time.perf_counter()
+    result = render_frame(scene, camera, spec)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return FrameRecord(
+        index=index, image=result.image, stats=result.stats, render_ms=elapsed_ms
+    )

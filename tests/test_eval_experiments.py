@@ -8,7 +8,13 @@ import pytest
 from repro.eval import experiments
 from repro.eval import reporting
 from repro.eval.runner import EvalSetup, clear_cache, load_scene_and_camera, run_tilewise
-from repro.eval.scenes import EVAL_SCENES, QUICK_SCENES, eval_preset
+from repro.eval.scenes import (
+    EVAL_SCENES,
+    QUICK_SCENES,
+    EvalScenePreset,
+    eval_preset,
+    quick_preset,
+)
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -25,6 +31,25 @@ class TestScenePresets:
     def test_quick_presets_are_smaller(self):
         for name in EVAL_SCENES:
             assert QUICK_SCENES[name].scale < EVAL_SCENES[name].scale
+
+    def test_quick_presets_preserve_non_scale_fields(self):
+        """Regression: quick derivation used to rebuild the preset from just
+        (name, scale, image_scale), silently resetting ``view_index`` (and
+        any future field) to its default."""
+        import dataclasses
+
+        derived = quick_preset(
+            EvalScenePreset("lego", scale=0.1, image_scale=0.5, view_index=3)
+        )
+        assert derived.view_index == 3
+        assert derived.scale == pytest.approx(0.1 * 0.25)
+        assert derived.image_scale == pytest.approx(0.5 * 0.6)
+        for name, preset in EVAL_SCENES.items():
+            quick = QUICK_SCENES[name]
+            for f in dataclasses.fields(EvalScenePreset):
+                if f.name in ("scale", "image_scale"):
+                    continue
+                assert getattr(quick, f.name) == getattr(preset, f.name), f.name
 
     def test_unknown_scene_raises(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,232 @@
+"""Tests for the render farm: scheduling, worker shipping and aggregation.
+
+The heavyweight throughput claim (multi-worker >= 1.5x sequential on a
+16-frame job) lives in ``benchmarks/bench_serve_throughput.py``; here we
+verify correctness on tiny jobs: farm output is bitwise identical to the
+sequential fallback and to single-frame evaluation-runner renders, scenes
+survive the ``.npz``/text trip into spawned workers, and counters aggregate
+exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import EvalSetup, run_gaussianwise, run_tilewise
+from repro.gaussians.io import scene_from_text, scene_to_text
+from repro.gaussians.synthetic import make_scene
+from repro.serve.farm import FrameSpec, RenderFarm, render_frame
+from repro.serve.trajectories import RenderJob, make_trajectory
+
+
+def _assert_stats_equal(a, b) -> None:
+    """Every statistics field equal, ndarray-valued fields included."""
+    assert type(a) is type(b)
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb), f.name
+        else:
+            assert va == vb, f.name
+
+
+@pytest.fixture(scope="module")
+def orbit_job() -> RenderJob:
+    return RenderJob("train", make_trajectory("orbit", num_frames=2), quick=True)
+
+
+@pytest.fixture(scope="module")
+def sequential_result(orbit_job):
+    return RenderFarm(num_workers=0).run(orbit_job)
+
+
+class TestSequentialFallback:
+    def test_renders_every_frame_in_order(self, orbit_job, sequential_result):
+        assert sequential_result.num_frames == orbit_job.num_frames
+        assert [f.index for f in sequential_result.frames] == [0, 1]
+        assert sequential_result.num_workers == 0
+
+    def test_latency_accounting(self, sequential_result):
+        times = sequential_result.frame_times_ms
+        assert times.shape == (2,)
+        assert np.all(times > 0)
+        assert sequential_result.p50_ms <= sequential_result.p95_ms
+        assert sequential_result.frames_per_second > 0
+        assert sequential_result.wall_seconds > 0
+
+    def test_single_worker_count_uses_sequential_path(self, orbit_job):
+        result = RenderFarm(num_workers=1).run(orbit_job)
+        assert result.num_workers == 0
+
+
+class TestFarmEqualsSequential:
+    def test_two_workers_bitwise_identical(self, orbit_job, sequential_result):
+        parallel = RenderFarm(num_workers=2).run(orbit_job)
+        assert parallel.num_workers == 2
+        for seq_frame, par_frame in zip(sequential_result.frames, parallel.frames):
+            assert seq_frame.index == par_frame.index
+            assert np.array_equal(seq_frame.image, par_frame.image)
+            _assert_stats_equal(seq_frame.stats, par_frame.stats)
+
+    def test_gaussianwise_job_bitwise_identical(self):
+        job = RenderJob(
+            "train",
+            make_trajectory("orbit", num_frames=2),
+            quick=True,
+            dataflow="gaussianwise",
+        )
+        seq = RenderFarm(num_workers=0).run(job)
+        par = RenderFarm(num_workers=2).run(job)
+        for a, b in zip(seq.frames, par.frames):
+            assert np.array_equal(a.image, b.image)
+            _assert_stats_equal(a.stats, b.stats)
+
+
+class TestFarmEqualsEvalRunner:
+    def test_orbit_frame0_matches_run_tilewise(self, sequential_result):
+        single = run_tilewise(EvalSetup("train", quick=True))
+        frame0 = sequential_result.frames[0]
+        assert np.array_equal(frame0.image, single.image)
+        _assert_stats_equal(frame0.stats, single.stats)
+
+    def test_orbit_frame0_matches_run_gaussianwise(self):
+        job = RenderJob(
+            "train",
+            make_trajectory("orbit", num_frames=2),
+            quick=True,
+            dataflow="gaussianwise",
+        )
+        result = RenderFarm(num_workers=0).run(job)
+        single = run_gaussianwise(EvalSetup("train", quick=True))
+        assert np.array_equal(result.frames[0].image, single.image)
+        _assert_stats_equal(result.frames[0].stats, single.stats)
+
+
+class TestWorkerSceneShipping:
+    """Scene built in the parent, rendered identically in a spawned worker."""
+
+    def test_npz_roundtrip_through_spawned_worker(self, orbit_job):
+        scene = make_scene("smoke", scale=1.0)
+        in_process = RenderFarm(num_workers=0).run(orbit_job, scene=scene)
+        spawned = RenderFarm(
+            num_workers=2, mp_context="spawn", scene_format="npz"
+        ).run(orbit_job, scene=scene)
+        assert spawned.num_workers == 2
+        for a, b in zip(in_process.frames, spawned.frames):
+            assert np.array_equal(a.image, b.image)
+            _assert_stats_equal(a.stats, b.stats)
+
+    def test_text_roundtrip_through_worker(self, orbit_job):
+        scene = make_scene("smoke", scale=1.0)
+        shipped = RenderFarm(num_workers=2, scene_format="text").run(
+            orbit_job, scene=scene
+        )
+        # The text format rounds to 9 significant digits, so workers render
+        # the round-tripped scene; the in-process reference must round-trip
+        # the same way to match bitwise.
+        roundtripped = scene_from_text(scene_to_text(scene))
+        reference = RenderFarm(num_workers=0).run(orbit_job, scene=roundtripped)
+        for a, b in zip(reference.frames, shipped.frames):
+            assert np.array_equal(a.image, b.image)
+            _assert_stats_equal(a.stats, b.stats)
+
+    def test_unknown_scene_format_rejected(self):
+        with pytest.raises(ValueError, match="scene_format"):
+            RenderFarm(scene_format="ply")
+
+    def test_negative_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            RenderFarm(num_workers=-1)
+
+
+class TestAggregation:
+    def test_counters_are_exact_sums(self, sequential_result):
+        totals = sequential_result.aggregate_counters()
+        assert totals  # non-empty
+        for name, total in totals.items():
+            expected = sum(
+                int(getattr(f.stats, name)) for f in sequential_result.frames
+            )
+            assert total == expected, name
+        # Config fields and arrays must not leak into the counter totals.
+        for excluded in ("width", "height", "tile_size", "rendered_indices"):
+            assert excluded not in totals
+
+    def test_counter_field_classification_is_exhaustive(self, sequential_result):
+        """Pin the exact counter sets so a new stats field cannot silently be
+        summed as work (or silently dropped): adding a field to
+        TileWiseStats/GaussianWiseStats must consciously update either
+        ``_NON_COUNTER_FIELDS`` in farm.py or this expectation."""
+        assert set(sequential_result.aggregate_counters()) == {
+            "num_total",
+            "num_depth_passed",
+            "num_preprocessed",
+            "num_assigned",
+            "num_tile_pairs",
+            "num_pairs_processed",
+            "num_distinct_processed",
+            "num_rendered",
+            "alpha_evaluations",
+            "pixels_blended",
+            "num_occupied_tiles",
+        }
+        gauss_job = RenderJob(
+            "train",
+            make_trajectory("orbit", num_frames=1),
+            quick=True,
+            dataflow="gaussianwise",
+        )
+        gauss = RenderFarm(num_workers=0).run(gauss_job)
+        assert set(gauss.aggregate_counters()) == {
+            "num_total",
+            "num_depth_culled",
+            "num_stage1_passed",
+            "num_groups",
+            "num_groups_processed",
+            "num_groups_skipped",
+            "num_skipped_by_termination",
+            "num_projected",
+            "num_screen_passed",
+            "num_skipped_tmask",
+            "num_empty_footprint",
+            "num_sh_evaluated",
+            "num_rendered",
+            "alpha_evaluations",
+            "pixels_blended",
+            "blocks_visited",
+            "blocks_evaluated",
+            "blocks_skipped_tmask",
+            "sort_elements",
+        }
+
+    def test_summary_is_json_serialisable(self, orbit_job, sequential_result):
+        summary = sequential_result.summary()
+        encoded = json.loads(json.dumps(summary))
+        assert encoded["scene"] == "train"
+        assert encoded["trajectory"] == "orbit"
+        assert encoded["num_frames"] == orbit_job.num_frames
+        assert encoded["counters"]["num_total"] > 0
+
+
+class TestFrameSpec:
+    def test_rejects_unknown_dataflow(self):
+        with pytest.raises(ValueError, match="dataflow"):
+            FrameSpec(dataflow="blockwise")
+
+    def test_for_job_copies_job_fields(self, orbit_job):
+        spec = FrameSpec.for_job(orbit_job)
+        assert spec.dataflow == orbit_job.dataflow
+        assert spec.backend == orbit_job.backend
+
+    def test_render_frame_dispatches_both_dataflows(self, orbit_job):
+        scene = make_scene("smoke", scale=1.0)
+        camera = orbit_job.cameras()[0]
+        tile = render_frame(scene, camera, FrameSpec(dataflow="tilewise"))
+        gauss = render_frame(scene, camera, FrameSpec(dataflow="gaussianwise"))
+        assert tile.image.shape == gauss.image.shape
+        assert hasattr(tile.stats, "num_tile_pairs")
+        assert hasattr(gauss.stats, "num_groups")
