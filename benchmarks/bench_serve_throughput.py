@@ -108,9 +108,10 @@ def _format_report(result: dict) -> str:
     return "\n".join(lines)
 
 
-def test_farm_throughput_and_fidelity(benchmark, save_report):
+def test_farm_throughput_and_fidelity(benchmark, save_report, save_json):
     result = run_once(benchmark, measure_farm_throughput)
     save_report("serve_throughput", _format_report(result))
+    save_json("serve_throughput", result)
 
     # Fidelity: farm output is bit-for-bit the sequential output, and the
     # evaluation-azimuth frame is bit-for-bit the runner's single frame.

@@ -22,6 +22,8 @@ equivalence and the >= 5x end-to-end frame speedup of the vectorized engine::
 
 from __future__ import annotations
 
+import json
+import math
 from pathlib import Path
 
 import pytest
@@ -42,6 +44,46 @@ def save_report(results_dir):
 
     def _save(name: str, text: str) -> None:
         path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _save
+
+
+def _jsonable(value):
+    """Coerce a benchmark payload into strict (RFC 8259) JSON values.
+
+    NumPy scalars become Python numbers; non-finite floats (``inf`` PSNR of
+    a bitwise-identical tier, ``nan``) become ``null`` — ``json.dumps``
+    would otherwise emit the ``Infinity`` literal, which strict parsers
+    (``jq``, ``JSON.parse``) reject.
+    """
+    if isinstance(value, dict):
+        return {key: _jsonable(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(inner) for inner in value]
+    if isinstance(value, (bool, str, int, type(None))):
+        return value
+    import numpy as np
+
+    if isinstance(value, np.integer):
+        return int(value)
+    number = float(value)
+    return number if math.isfinite(number) else None
+
+
+@pytest.fixture(scope="session")
+def save_json(results_dir):
+    """Return a helper that writes one experiment's machine-readable JSON.
+
+    Written next to the text reports as ``benchmarks/results/<name>.json``
+    so the perf trajectory can be tracked across runs by tooling instead of
+    scraped out of formatted tables.  The payload is coerced to strict JSON
+    first (NumPy scalars to numbers, non-finite floats to ``null``).
+    """
+
+    def _save(name: str, payload) -> None:
+        path = results_dir / f"{name}.json"
+        text = json.dumps(_jsonable(payload), indent=2, sort_keys=True, allow_nan=False)
         path.write_text(text + "\n")
 
     return _save

@@ -28,10 +28,40 @@ from repro.render.tile_raster import TileWiseResult
 from repro.serve.cache import LRUCache
 from repro.serve.farm import FrameSpec, render_frame
 
-#: Bound on resident memoised artefacts.  A full six-scene evaluation sweep
-#: keeps well under this; the bound exists so a long-running serving process
-#: that touches many (setup, config) combinations cannot grow without limit.
-CACHE_MAXSIZE = 256
+#: Default bound on resident memoised artefacts.  A full six-scene
+#: evaluation sweep keeps well under this; the bound exists so a
+#: long-running serving process that touches many (setup, config)
+#: combinations cannot grow without limit.
+DEFAULT_CACHE_MAXSIZE = 256
+
+#: Sentinel: "caller did not pass a capacity" (``None`` means unbounded).
+_UNSET = object()
+
+
+def _capacity_from_env(default: int | None = DEFAULT_CACHE_MAXSIZE) -> int | None:
+    """Resolve the cache bound from ``REPRO_CACHE_SIZE``.
+
+    Accepts a positive integer, or ``none``/``unbounded``/``0`` (any zero
+    spelling) to disable eviction; unset or empty falls back to ``default``.
+    Invalid values raise ``ValueError`` at import time rather than silently
+    running with a surprise bound.
+    """
+    import os
+
+    raw = os.environ.get("REPRO_CACHE_SIZE", "").strip()
+    if not raw:
+        return default
+    if raw.lower() in {"none", "unbounded"}:
+        return None
+    value = int(raw)
+    if value < 0:
+        raise ValueError(f"REPRO_CACHE_SIZE must be >= 0, got {value}")
+    return None if value == 0 else value
+
+
+#: The bound the cache was created with (``REPRO_CACHE_SIZE`` wins over the
+#: default); ``cache(capacity=...)`` can change it later at runtime.
+CACHE_MAXSIZE = _capacity_from_env()
 
 _CACHE = LRUCache(maxsize=CACHE_MAXSIZE)
 
@@ -47,13 +77,27 @@ class EvalSetup:
         return eval_preset(self.scene, quick=self.quick)
 
 
-def clear_cache() -> None:
-    """Drop every memoised scene, render and simulation."""
-    _CACHE.clear()
+def clear_cache(reset_stats: bool = False) -> None:
+    """Drop every memoised scene, render and simulation.
+
+    Hit/miss/eviction counters survive by default (lifetime telemetry);
+    pass ``reset_stats=True`` to zero them too.
+    """
+    _CACHE.clear(reset_stats=reset_stats)
 
 
-def cache() -> LRUCache:
-    """The artifact cache itself (for inspection: size, hit rate, keys)."""
+def cache(capacity: int | None | object = _UNSET) -> LRUCache:
+    """The artifact cache itself (for inspection: size, hit rate, keys).
+
+    Passing ``capacity`` resizes the bound in place (``None`` = unbounded;
+    shrinking evicts least-recently-used artefacts immediately and counts
+    them in ``stats.evictions``): ``cache(capacity=16)``.  The startup bound
+    comes from the ``REPRO_CACHE_SIZE`` environment variable when set
+    (positive integer, or ``none``/``unbounded``/``0`` for no bound),
+    otherwise :data:`DEFAULT_CACHE_MAXSIZE`.
+    """
+    if capacity is not _UNSET:
+        _CACHE.resize(capacity)  # type: ignore[arg-type]
     return _CACHE
 
 
@@ -62,11 +106,22 @@ def _cached(key: tuple, factory):
 
 
 def load_scene_and_camera(setup: EvalSetup) -> tuple[GaussianScene, Camera]:
-    """Instantiate (and cache) the synthetic scene and camera for a setup."""
+    """Instantiate (and cache) the scene and camera for a setup.
+
+    Presets that name a scene-store entry (``preset.store``) resolve the
+    scene through :func:`repro.store.store.default_store` (the store's own
+    LRU cache making the base build one-time); everything else regenerates
+    the synthetic scene exactly as before.
+    """
     preset = setup.preset()
 
     def build():
-        scene = make_scene(preset.name, scale=preset.scale)
+        if preset.store is not None:
+            from repro.store.store import default_store
+
+            scene = default_store().get(preset.store)
+        else:
+            scene = make_scene(preset.name, scale=preset.scale)
         camera = make_camera(
             preset.name, view_index=preset.view_index, image_scale=preset.image_scale
         )

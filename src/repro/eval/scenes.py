@@ -28,6 +28,14 @@ class EvalScenePreset:
     image_scale: float
     #: Which evaluation camera on the orbit/indoor path to use.
     view_index: int = 0
+    #: Name of a :mod:`repro.store` scene-store entry supplying the scene.
+    #: When set, the harness resolves the scene through
+    #: ``repro.store.store.default_store().get(store)`` instead of
+    #: regenerating it with ``make_scene(name, scale=scale)`` — ``scale``
+    #: then has no effect (the store entry decides the scene's size), while
+    #: ``name`` still selects the :class:`~repro.gaussians.synthetic.SceneSpec`
+    #: used for camera placement and trajectory expansion.
+    store: str | None = None
 
 
 #: Default presets: 6k-14k Gaussians and 100-180 px images per scene.
@@ -61,14 +69,48 @@ ABLATION_SCENES: tuple[str, ...] = ("palace", "train", "drjohnson")
 #: The four real-capture scenes of Figure 2 and Table 1.
 MOTIVATION_SCENES: tuple[str, ...] = ("train", "truck", "playroom", "drjohnson")
 
+#: Presets registered at runtime (store-backed scenes, ``--scene-file`` CLI
+#: loads).  Consulted by :func:`eval_preset` after the built-in tables.
+_CUSTOM_PRESETS: dict[str, EvalScenePreset] = {}
+
+
+def register_preset(preset: EvalScenePreset, overwrite: bool = False) -> None:
+    """Register a runtime evaluation preset (e.g. for a file-backed scene).
+
+    The preset's ``name`` must have a :class:`~repro.gaussians.synthetic.SceneSpec`
+    (built-in or added via
+    :func:`repro.gaussians.synthetic.register_scene_spec`) so cameras and
+    trajectories can be expanded for it.  Built-in preset names cannot be
+    shadowed; re-registering a custom name requires ``overwrite=True``.
+    """
+    key = preset.name.lower()
+    if key in EVAL_SCENES:
+        raise ValueError(f"cannot shadow built-in evaluation preset {preset.name!r}")
+    if key in _CUSTOM_PRESETS and not overwrite:
+        raise ValueError(f"preset {preset.name!r} is already registered")
+    _CUSTOM_PRESETS[key] = preset
+
 
 def eval_preset(name: str, quick: bool = False) -> EvalScenePreset:
-    """Return the evaluation preset for ``name``."""
+    """Return the evaluation preset for ``name``.
+
+    Runtime-registered presets (:func:`register_preset`) resolve after the
+    built-in tables; their quick variant is derived with
+    :func:`quick_preset` on demand (for store-backed presets only the
+    ``image_scale`` reduction has an effect — the store entry fixes the
+    Gaussian count).
+    """
     table = QUICK_SCENES if quick else EVAL_SCENES
     key = name.lower()
-    if key not in table:
-        raise KeyError(f"unknown evaluation scene {name!r}; available: {sorted(table)}")
-    return table[key]
+    if key in table:
+        return table[key]
+    if key in _CUSTOM_PRESETS:
+        preset = _CUSTOM_PRESETS[key]
+        return quick_preset(preset) if quick else preset
+    raise KeyError(
+        f"unknown evaluation scene {name!r}; available: "
+        f"{sorted(set(table) | set(_CUSTOM_PRESETS))}"
+    )
 
 
 def all_benchmark_scenes() -> tuple[str, ...]:

@@ -77,7 +77,12 @@ def scene_to_text(scene: GaussianScene) -> str:
 
 
 def scene_from_text(text: str) -> GaussianScene:
-    """Parse a scene from the text format written by :func:`scene_to_text`."""
+    """Parse a scene from the text format written by :func:`scene_to_text`.
+
+    A ``# repro-gaussian-scene vN`` header with a version other than the
+    one this build writes raises ``ValueError`` (headerless data is
+    accepted for hand-written fixtures).
+    """
     name = "scene"
     rows: list[np.ndarray] = []
     expected_width = 3 + 3 + 4 + 1 + 3 * SH_COEFFS_PER_CHANNEL
@@ -86,6 +91,13 @@ def scene_from_text(text: str) -> GaussianScene:
         if not stripped:
             continue
         if stripped.startswith("#"):
+            if stripped.startswith("# repro-gaussian-scene v"):
+                version_text = stripped.rsplit("v", 1)[1].strip()
+                if version_text != str(_FORMAT_VERSION):
+                    raise ValueError(
+                        f"unsupported scene text version {version_text}; "
+                        f"this build reads version {_FORMAT_VERSION}"
+                    )
             if stripped.startswith("# name:"):
                 name = stripped.split(":", 1)[1].strip()
             continue

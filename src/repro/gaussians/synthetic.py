@@ -197,6 +197,11 @@ BENCHMARK_SCENES: tuple[str, ...] = (
 )
 
 
+#: Names of the specs shipped with the package (runtime registrations via
+#: :func:`register_scene_spec` may add more but can never replace these).
+_BUILTIN_SPEC_NAMES = frozenset(SCENE_SPECS)
+
+
 def scene_spec(name: str) -> SceneSpec:
     """Return the :class:`SceneSpec` preset for ``name`` (case-insensitive)."""
     key = name.lower()
@@ -205,6 +210,23 @@ def scene_spec(name: str) -> SceneSpec:
             f"unknown scene {name!r}; available: {sorted(SCENE_SPECS)}"
         )
     return SCENE_SPECS[key]
+
+
+def register_scene_spec(spec: SceneSpec, overwrite: bool = False) -> None:
+    """Register a runtime :class:`SceneSpec` (e.g. for a file-backed scene).
+
+    Camera placement and trajectory expansion look scenes up by name through
+    :func:`scene_spec`, so a scene that arrives from disk needs a spec
+    before it can be served along a trajectory (see
+    :func:`repro.store.store.derive_scene_spec`).  Built-in specs cannot be
+    replaced; re-registering a runtime name requires ``overwrite=True``.
+    """
+    key = spec.name.lower()
+    if key in _BUILTIN_SPEC_NAMES:
+        raise ValueError(f"cannot replace built-in scene spec {spec.name!r}")
+    if key in SCENE_SPECS and not overwrite:
+        raise ValueError(f"scene spec {spec.name!r} is already registered")
+    SCENE_SPECS[key] = spec
 
 
 def _sample_positions(spec: SceneSpec, count: int, rng: np.random.Generator) -> np.ndarray:

@@ -1,15 +1,22 @@
 """Command-line front end of the render-farm serving subsystem.
 
-Run a named evaluation scene along a camera trajectory, sharded across a
-worker pool, and print a throughput/latency/work report::
+Run a named evaluation scene — or any scene file on disk — along a camera
+trajectory, sharded across a worker pool, and print a
+throughput/latency/work report::
 
     python -m repro.serve --scene train --trajectory orbit --frames 16 --workers 4
     python -m repro.serve --scene drjohnson --trajectory walkthrough \
         --dataflow gaussianwise --quick --json
+    python -m repro.serve --scene-file model.npz --frames 8 --lod 1 --quant compact
+
+``--scene-file`` autodetects the on-disk format (lossless ``.npz``,
+quantized store container, or the text exchange format) and fails with a
+clear error otherwise; ``--lod``/``--quant`` select the scene store's
+quality tier for any scene, named or file-backed.
 
 The same entry point is installed as the ``repro-serve`` console script.
-Exit status is 0 on success; bad arguments exit with ``argparse``'s usual
-status 2.
+Exit status is 0 on success; bad arguments (including unreadable or
+unrecognised scene files) exit with ``argparse``'s usual status 2.
 """
 
 from __future__ import annotations
@@ -17,12 +24,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.eval.reporting import format_table
-from repro.eval.scenes import EVAL_SCENES
+from repro.eval.scenes import EVAL_SCENES, EvalScenePreset, register_preset
+from repro.gaussians.synthetic import register_scene_spec
 from repro.render.common import BACKENDS
 from repro.serve.farm import DATAFLOWS, JobResult, RenderFarm
 from repro.serve.trajectories import TRAJECTORY_KINDS, RenderJob, make_trajectory
+from repro.store.codec import QUANT_SPECS
+from repro.store.store import default_store, derive_scene_spec, load_scene_auto
 
 
 def _positive_int(text: str) -> int:
@@ -49,6 +60,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="train",
         choices=sorted(EVAL_SCENES),
         help="evaluation scene preset to render",
+    )
+    parser.add_argument(
+        "--scene-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "render a scene loaded from disk instead of a named preset "
+            "(.npz scene archive, quantized store container, or text "
+            "format; autodetected)"
+        ),
+    )
+    parser.add_argument(
+        "--lod",
+        type=_nonnegative_int,
+        default=0,
+        help="LOD pyramid level (0 = full scene; level k keeps 0.5**k by importance)",
+    )
+    parser.add_argument(
+        "--quant",
+        default="lossless",
+        choices=sorted(QUANT_SPECS),
+        help="scene quantization tier (lossless ships/renders bit-exactly)",
     )
     parser.add_argument(
         "--trajectory",
@@ -111,6 +144,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _register_scene_file(path: str) -> str:
+    """Load ``path``, register it as a store-backed preset; return its name.
+
+    The scene enters the default store under a ``file:`` name, a derived
+    :class:`SceneSpec` provides camera geometry, and a runtime evaluation
+    preset ties the two together so the farm and trajectories treat the
+    file exactly like a named preset.
+    """
+    scene = load_scene_auto(path)
+    name = f"file:{Path(path).stem.lower()}"
+    register_scene_spec(derive_scene_spec(scene, name), overwrite=True)
+    default_store().add_scene(name, scene, overwrite=True)
+    register_preset(
+        EvalScenePreset(name=name, scale=1.0, image_scale=1.0, store=name),
+        overwrite=True,
+    )
+    return name
+
+
 def format_report(result: JobResult) -> str:
     """Render a :class:`JobResult` as a human-readable text report."""
     job = result.job
@@ -119,11 +171,17 @@ def format_report(result: JobResult) -> str:
         if result.num_workers
         else "sequential (in-process)"
     )
+    shipped = (
+        f"   shipped scene: {result.ship_bytes} B ({job.quant})"
+        if result.ship_bytes
+        else ""
+    )
     lines = [
         f"Render-farm job: scene={job.scene} trajectory={job.trajectory.kind} "
         f"dataflow={job.dataflow} backend={result.spec.backend} "
-        f"quick={job.quick}",
-        f"  frames: {result.num_frames}   scheduling: {mode}",
+        f"quick={job.quick} lod={job.lod} quant={job.quant}",
+        f"  frames: {result.num_frames}   scheduling: {mode}"
+        f"   gaussians: {result.num_gaussians}{shipped}",
         f"  wall time: {result.wall_seconds:.3f} s   "
         f"throughput: {result.frames_per_second:.2f} frames/s",
         f"  per-frame latency: p50 {result.p50_ms:.1f} ms   "
@@ -139,7 +197,14 @@ def format_report(result: JobResult) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    scene_name = args.scene
+    if args.scene_file is not None:
+        try:
+            scene_name = _register_scene_file(args.scene_file)
+        except (FileNotFoundError, ValueError) as exc:
+            parser.error(f"--scene-file: {exc}")
     trajectory = make_trajectory(
         args.trajectory,
         num_frames=args.frames,
@@ -147,11 +212,13 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     job = RenderJob(
-        scene=args.scene,
+        scene=scene_name,
         trajectory=trajectory,
         quick=args.quick,
         dataflow=args.dataflow,
         backend=args.backend,
+        lod=args.lod,
+        quant=args.quant,
     )
     farm = RenderFarm(num_workers=args.workers, mp_context=args.mp_context)
     result = farm.run(job)

@@ -48,6 +48,12 @@ class CacheStats:
             return 0.0
         return self.hits / self.requests
 
+    def reset(self) -> None:
+        """Zero every counter (used by ``LRUCache.clear(reset_stats=True)``)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
 
 class LRUCache:
     """A bounded mapping from hashable keys to arbitrary artifacts.
@@ -126,6 +132,37 @@ class LRUCache:
             self.put(key, value)
         return value
 
-    def clear(self) -> None:
-        """Drop every entry (counters are kept; see :attr:`stats`)."""
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return the artifact under ``key`` (no stats recorded).
+
+        Explicit removal is bookkeeping, not a lookup: neither the hit/miss
+        counters nor the eviction counter move (evictions count *capacity*
+        pressure only).
+        """
+        return self._entries.pop(key, default)
+
+    def resize(self, maxsize: int | None) -> None:
+        """Change the eviction bound, evicting LRU entries if now over it.
+
+        Shrinking below the resident count evicts oldest-first and counts
+        each removal in ``stats.evictions``; ``None`` removes the bound.
+        """
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive or None (unbounded)")
+        self._maxsize = maxsize
+        if maxsize is not None:
+            while len(self._entries) > maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry.
+
+        Counters are **kept** by default so a serving process can clear
+        artifacts without losing its lifetime hit-rate telemetry; pass
+        ``reset_stats=True`` to zero them as well (the semantics benchmarks
+        want between runs).
+        """
         self._entries.clear()
+        if reset_stats:
+            self.stats.reset()

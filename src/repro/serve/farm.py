@@ -13,6 +13,14 @@ Design points:
   cameras (a 4x4 matrix plus intrinsics) and finished frames cross the
   process boundary.  This mirrors how a real 3DGS service keeps the model
   resident while viewpoints stream in.
+* **Quality tiers.**  A job may request a scene-store quality tier
+  (``RenderJob.lod`` prunes by importance, ``RenderJob.quant`` selects a
+  :mod:`repro.store.codec` quantization tier).  The tier is applied to the
+  scene *before* any frame renders; on the pool path a quantized tier ships
+  the **encoded** payload (the quantized store container) so the
+  bytes crossing the process boundary shrink with the tier, and the worker's
+  one-time load decodes it.  Decoding is deterministic, so pool output stays
+  bitwise identical to the sequential fallback at every tier.
 * **Determinism.**  Rendering is a pure function of (scene, camera, spec),
   and ``.npz`` shipping is bit-exact for float64 arrays, so farm output is
   bitwise identical to the in-process sequential fallback and to
@@ -54,14 +62,25 @@ from repro.gaussians.synthetic import make_scene
 from repro.render.common import RenderConfig
 from repro.render.gaussian_raster import GaussianWiseResult, render_gaussianwise
 from repro.render.tile_raster import TileWiseResult, render_tilewise
+from repro.store.codec import (
+    QUANT_SPECS,
+    load_scene_store,
+    quant_spec,
+    roundtrip_scene,
+    save_scene_store,
+)
+from repro.store.lod import select_lod
 
 # Import-cycle invariants (repro.eval.runner imports render_frame from this
 # module): (a) this module must not import repro.serve.trajectories or
 # anything under repro.eval at module level — a chain farm -> trajectories ->
 # eval -> runner would re-enter farm before FrameSpec exists; (b) neither
 # repro.eval.scenes nor repro.serve.trajectories may ever import
-# repro.eval.runner.  RenderJob appears below in annotations only, which
-# PEP 563 keeps as strings.
+# repro.eval.runner; (c) of the scene store only repro.store.codec and
+# repro.store.lod may be imported here at module level —
+# repro.store.store pulls repro.serve.cache back in (resolved lazily inside
+# run() via default_store()).  RenderJob appears below in annotations only,
+# which PEP 563 keeps as strings.
 
 FrameResult = Union[TileWiseResult, GaussianWiseResult]
 
@@ -107,15 +126,32 @@ class FrameSpec:
     enable_cc: bool = True
     block_size: int = 8
     boundary_mode: str = "alpha"
+    #: Quality tier the job's scene was prepared at.  These two fields are
+    #: provenance, not render parameters: the farm applies them to the scene
+    #: *before* any frame is rendered (LOD pruning + codec round-trip), and
+    #: :func:`render_frame` itself never consults them — a worker holding a
+    #: decoded scene renders it exactly as a lossless one.
+    lod: int = 0
+    quant: str = "lossless"
 
     def __post_init__(self) -> None:
         if self.dataflow not in DATAFLOWS:
             raise ValueError(f"dataflow must be one of {DATAFLOWS}")
+        if self.lod < 0:
+            raise ValueError("lod must be non-negative")
+        if self.quant not in QUANT_SPECS:
+            raise ValueError(f"quant must be one of {sorted(QUANT_SPECS)}")
 
     @classmethod
     def for_job(cls, job: RenderJob, **overrides) -> "FrameSpec":
         """The spec a :class:`RenderJob` renders its frames with."""
-        return cls(dataflow=job.dataflow, backend=job.backend, **overrides)
+        return cls(
+            dataflow=job.dataflow,
+            backend=job.backend,
+            lod=job.lod,
+            quant=job.quant,
+            **overrides,
+        )
 
 
 def render_frame(scene: GaussianScene, camera: Camera, spec: FrameSpec) -> FrameResult:
@@ -165,6 +201,12 @@ class JobResult:
     num_workers: int
     #: End-to-end wall time, including pool start-up and scene shipping.
     wall_seconds: float
+    #: Gaussians in the scene the frames were rendered from (after the
+    #: job's LOD level was applied).
+    num_gaussians: int = 0
+    #: On-disk bytes of the scene payload shipped to the worker pool
+    #: (0 on the sequential path — nothing crosses a process boundary).
+    ship_bytes: int = 0
 
     # ------------------------------------------------------------------
     # Throughput / latency accounting
@@ -224,6 +266,10 @@ class JobResult:
             "trajectory": self.job.trajectory.kind,
             "dataflow": self.job.dataflow,
             "backend": self.spec.backend,
+            "lod": self.spec.lod,
+            "quant": self.spec.quant,
+            "num_gaussians": self.num_gaussians,
+            "ship_bytes": self.ship_bytes,
             "num_frames": self.num_frames,
             "num_workers": self.num_workers,
             "image_size": [self.frames[0].stats.width, self.frames[0].stats.height]
@@ -245,8 +291,16 @@ class JobResult:
 #: once by :func:`_worker_init` when the pool starts.
 _WORKER_STATE: dict = {}
 
-_SCENE_LOADERS = {"npz": load_scene_npz, "text": load_scene_text}
+#: Worker-side scene loaders per shipping format.  ``"store"`` is the
+#: quantized codec container: the parent ships the *encoded* payload and
+#: the worker's load decodes it, so quantized tiers cross the process
+#: boundary at their compressed size.
+_SCENE_LOADERS = {"npz": load_scene_npz, "text": load_scene_text, "store": load_scene_store}
 _SCENE_SAVERS = {"npz": save_scene_npz, "text": save_scene_text}
+
+#: Shipping formats a caller may select for lossless scenes ("store" is
+#: engaged automatically whenever the job requests a quantized tier).
+SCENE_FORMATS: tuple[str, ...] = ("npz", "text")
 
 
 def _worker_init(scene_path: str, scene_format: str, spec: FrameSpec) -> None:
@@ -292,8 +346,8 @@ class RenderFarm:
             num_workers = usable_cpu_count()
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
-        if scene_format not in _SCENE_LOADERS:
-            raise ValueError(f"scene_format must be one of {sorted(_SCENE_LOADERS)}")
+        if scene_format not in SCENE_FORMATS:
+            raise ValueError(f"scene_format must be one of {sorted(SCENE_FORMATS)}")
         self.num_workers = num_workers
         self.mp_context = mp_context
         self.scene_format = scene_format
@@ -308,22 +362,60 @@ class RenderFarm:
             The trajectory job to render.
         scene:
             Optional pre-built scene.  By default the job's evaluation
-            preset is instantiated exactly as :mod:`repro.eval.runner` does
+            preset is resolved through the scene store when it names a store
+            entry (``preset.store``), otherwise instantiated exactly as
+            :mod:`repro.eval.runner` does
             (``make_scene(preset.name, scale=preset.scale)``).
+
+        The job's quality tier is applied to the base scene before any frame
+        renders: LOD level ``job.lod`` prunes by importance, then tier
+        ``job.quant`` round-trips the pruned scene through the quantized
+        codec.  On the pool path the *encoded* payload is what ships to the
+        workers (``ship_bytes`` in the result records its on-disk size);
+        decoding is deterministic, so pool frames stay bitwise identical to
+        the sequential fallback at every tier, and the lossless tier stays
+        bitwise identical to the legacy pipeline.
         """
         preset = job.preset()
-        if scene is None:
-            scene = make_scene(preset.name, scale=preset.scale)
+        tier = quant_spec(job.quant)
+        sequential = self.num_workers <= 1 or job.num_frames <= 1
+        if scene is not None:
+            # Caller-supplied scene: the farm applies the tier itself.
+            lod_scene = select_lod(scene, job.lod)
+            render_scene = roundtrip_scene(lod_scene, tier) if sequential else None
+        elif preset.store is not None:
+            # Store-backed preset: let the SceneStore prepare (and cache)
+            # the tier, honouring the store's own lod_ratio — repeated jobs
+            # at one tier reuse the pruned/decoded scenes.
+            from repro.store.store import default_store
+
+            store = default_store()
+            lod_scene = store.get(preset.store, lod=job.lod)
+            render_scene = (
+                store.get(preset.store, lod=job.lod, quant=job.quant)
+                if sequential
+                else None
+            )
+        else:
+            lod_scene = select_lod(
+                make_scene(preset.name, scale=preset.scale), job.lod
+            )
+            render_scene = roundtrip_scene(lod_scene, tier) if sequential else None
         cameras = job.cameras()
         spec = FrameSpec.for_job(job)
         tasks = list(enumerate(cameras))
 
         start = time.perf_counter()
-        if self.num_workers <= 1 or len(tasks) <= 1:
-            frames = [_render_one(scene, task, spec) for task in tasks]
+        ship_bytes = 0
+        if sequential:
+            # Sequential path renders the decoded tier in-process; the pool
+            # path ships the encoded payload instead and lets each worker
+            # decode it once (the same deterministic decode, so both paths
+            # render identical bits).
+            frames = [_render_one(render_scene, task, spec) for task in tasks]
             effective_workers = 0
         else:
-            frames = self._run_pool(scene, tasks, spec)
+            frames, ship_bytes = self._run_pool(lod_scene, tasks, spec, tier)
             effective_workers = min(self.num_workers, len(tasks))
         wall = time.perf_counter() - start
 
@@ -334,25 +426,43 @@ class RenderFarm:
             frames=frames,
             num_workers=effective_workers,
             wall_seconds=wall,
+            num_gaussians=lod_scene.num_gaussians,
+            ship_bytes=ship_bytes,
         )
 
     def _run_pool(
-        self, scene: GaussianScene, tasks: list[tuple[int, Camera]], spec: FrameSpec
-    ) -> list[FrameRecord]:
+        self,
+        scene: GaussianScene,
+        tasks: list[tuple[int, Camera]],
+        spec: FrameSpec,
+        tier,
+    ) -> tuple[list[FrameRecord], int]:
+        """Ship ``scene`` (encoded when the tier is lossy) and map the tasks.
+
+        Returns the frame records plus the on-disk byte size of the shipped
+        scene payload.
+        """
         import multiprocessing
 
         context = multiprocessing.get_context(self.mp_context)
         workers = min(self.num_workers, len(tasks))
-        suffix = ".npz" if self.scene_format == "npz" else ".txt"
+        if tier.is_lossless:
+            ship_format = self.scene_format
+            saver = _SCENE_SAVERS[self.scene_format]
+        else:
+            ship_format = "store"
+            saver = lambda s, p: save_scene_store(s, p, tier)  # noqa: E731
+        suffix = ".txt" if ship_format == "text" else ".npz"
         with tempfile.TemporaryDirectory(prefix="repro-farm-") as tmp:
             scene_path = Path(tmp) / f"scene{suffix}"
-            _SCENE_SAVERS[self.scene_format](scene, scene_path)
+            saver(scene, scene_path)
+            ship_bytes = scene_path.stat().st_size
             with context.Pool(
                 processes=workers,
                 initializer=_worker_init,
-                initargs=(str(scene_path), self.scene_format, spec),
+                initargs=(str(scene_path), ship_format, spec),
             ) as pool:
-                return pool.map(_worker_render, tasks, chunksize=1)
+                return pool.map(_worker_render, tasks, chunksize=1), ship_bytes
 
 
 def _render_one(

@@ -45,6 +45,7 @@ from repro.gaussians.camera import Camera, look_at
 from repro.gaussians.synthetic import make_camera, scaled_image_size, scene_spec
 from repro.render.common import BACKENDS
 from repro.serve.farm import DATAFLOWS
+from repro.store.codec import QUANT_SPECS
 
 #: The camera-path kinds understood by :func:`make_trajectory`.
 TRAJECTORY_KINDS: tuple[str, ...] = ("orbit", "dolly", "walkthrough", "jitter")
@@ -226,6 +227,15 @@ class RenderJob:
         dataflow).
     backend:
         Rasterisation engine, ``"vectorized"`` or ``"reference"``.
+    lod:
+        Detail level the job requests from the scene store's LOD pyramid
+        (0 = full scene; level ``k`` keeps ``0.5**k`` of the Gaussians by
+        importance).
+    quant:
+        Quantization tier of the scene payload, one of
+        :data:`repro.store.codec.QUANT_SPECS` (``"lossless"`` ships and
+        renders the scene bit-exactly; lossy tiers shrink the bytes shipped
+        to farm workers).
     """
 
     scene: str
@@ -233,12 +243,18 @@ class RenderJob:
     quick: bool = False
     dataflow: str = "tilewise"
     backend: str = "vectorized"
+    lod: int = 0
+    quant: str = "lossless"
 
     def __post_init__(self) -> None:
         if self.dataflow not in DATAFLOWS:
             raise ValueError(f"dataflow must be one of {DATAFLOWS}")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.lod < 0:
+            raise ValueError("lod must be non-negative")
+        if self.quant not in QUANT_SPECS:
+            raise ValueError(f"quant must be one of {sorted(QUANT_SPECS)}")
         # Fail fast on unknown scenes so jobs cannot enter the farm queue
         # with a name no worker will resolve.
         eval_preset(self.scene, quick=self.quick)

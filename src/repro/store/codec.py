@@ -1,0 +1,433 @@
+"""Quantized scene codec: per-attribute compression behind a :class:`QuantSpec`.
+
+The paper's central concern is Gaussian memory traffic — every Gaussian costs
+59 float32 parameters (236 bytes) each time it crosses DRAM.  This module
+attacks the same axis at rest and on the wire: a scene can be *encoded* under
+a named quantization tier, stored in a versioned ``.npz`` container, and
+*decoded* back into a valid :class:`~repro.gaussians.model.GaussianScene`.
+
+Per-attribute modes (the letters follow NumPy dtype characters):
+
+``means``
+    ``f8``/``f4``/``f2`` float widths, or ``u16`` — 16-bit fixed point over
+    the scene's per-axis bounding box (uniform step ``(hi - lo) / 65535``),
+    which beats fp16 for world-space positions because the error is absolute,
+    not relative to magnitude.
+``scales``
+    ``f8``/``f4``, or ``logf2`` — fp16 of ``log(scale)``.  Encoding in the
+    log domain preserves *relative* precision across the orders of magnitude
+    spanned by foreground/background primitive sizes, and ``exp`` of any
+    finite fp16 is strictly positive, so decoded scenes always pass
+    validation.
+``quaternions``
+    ``f8``/``f4``/``f2``, or ``u8`` per component over ``[-1, 1]``.  Lossy
+    modes store the *normalised* quaternion (renderers only consume the unit
+    rotation, so the norm is redundant); a unit quaternion's largest
+    component is at least 0.5, far above the u8 step of 2/255, so decoded
+    quaternions are never the zero vector.
+``opacities``
+    ``f8``/``f4``/``f2``, or ``u8`` on the 255-level grid ``q / 255`` with
+    ``q`` in ``1..255`` — exactly the (0, 1] range the scene model requires,
+    and the same 1/255 resolution at which the alpha-blend termination
+    threshold operates.
+``sh_dc`` / ``sh_rest``
+    The DC (degree-0) SH band carries the base colour and is kept at float
+    precision (``f8``/``f4``/``f2``); the 15 higher-order coefficients per
+    channel may additionally drop to ``u8`` with per-coefficient min/max
+    ranges (trained models concentrate energy in the DC band, so the
+    view-dependent residual tolerates coarse steps).
+
+Byte accounting is exact: :func:`payload_nbytes` sums the actual array bytes
+of an encoded payload (aux ranges included), and :func:`fp32_nbytes` is the
+paper's 236-bytes-per-Gaussian baseline, so compression ratios reported by
+the store benchmark are measured, not estimated.
+
+The ``lossless`` tier stores every attribute as float64 — bit-for-bit the
+in-memory representation — which is what lets the store-backed serving path
+guarantee bitwise-identical images and statistics counters to the legacy
+:mod:`repro.gaussians.io` pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.gaussians.model import BYTES_PER_GAUSSIAN, GaussianScene
+
+#: Version stamp of the quantized container layout.  Bump on any change to
+#: the payload keys or their meaning; the loader refuses other versions.
+STORE_VERSION = 1
+
+#: Allowed modes per attribute (NumPy dtype characters, plus the two
+#: transform-coded modes ``u16``-fixed-point means and ``logf2`` scales).
+MEANS_MODES = ("f8", "f4", "f2", "u16")
+SCALES_MODES = ("f8", "f4", "logf2")
+QUATERNION_MODES = ("f8", "f4", "f2", "u8")
+OPACITY_MODES = ("f8", "f4", "f2", "u8")
+SH_DC_MODES = ("f8", "f4", "f2")
+SH_REST_MODES = ("f8", "f4", "f2", "u8")
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """One quantization tier: an encoding mode per scene attribute.
+
+    Hashable (frozen dataclass), so a spec — or its :attr:`name` — can key
+    caches such as the :class:`~repro.store.store.SceneStore` registry.
+    """
+
+    name: str
+    means: str = "f8"
+    scales: str = "f8"
+    quaternions: str = "f8"
+    opacities: str = "f8"
+    sh_dc: str = "f8"
+    sh_rest: str = "f8"
+
+    def __post_init__(self) -> None:
+        for attr, allowed in (
+            ("means", MEANS_MODES),
+            ("scales", SCALES_MODES),
+            ("quaternions", QUATERNION_MODES),
+            ("opacities", OPACITY_MODES),
+            ("sh_dc", SH_DC_MODES),
+            ("sh_rest", SH_REST_MODES),
+        ):
+            mode = getattr(self, attr)
+            if mode not in allowed:
+                raise ValueError(
+                    f"unknown {attr} mode {mode!r}; allowed: {allowed}"
+                )
+
+    @property
+    def is_lossless(self) -> bool:
+        """True when every attribute is stored as float64 (bit-exact)."""
+        return all(
+            getattr(self, f.name) == "f8"
+            for f in dataclasses.fields(self)
+            if f.name != "name"
+        )
+
+    def bytes_per_gaussian(self) -> float:
+        """Nominal payload bytes per Gaussian under this tier (aux excluded)."""
+        width = {"f8": 8, "f4": 4, "f2": 2, "logf2": 2, "u16": 2, "u8": 1}
+        return (
+            3 * width[self.means]
+            + 3 * width[self.scales]
+            + 4 * width[self.quaternions]
+            + 1 * width[self.opacities]
+            + 3 * width[self.sh_dc]
+            + 45 * width[self.sh_rest]
+        )
+
+
+#: The named tiers the serving stack exposes (``--quant`` on the CLI,
+#: ``RenderJob.quant`` on the farm).  ``lossless`` is bit-exact; ``fp16``
+#: halves-or-better every attribute at float16 precision; ``compact`` is the
+#: aggressive integer tier (~68 B/Gaussian vs the 236 B fp32 baseline).
+QUANT_SPECS: dict[str, QuantSpec] = {
+    "lossless": QuantSpec("lossless"),
+    "fp16": QuantSpec(
+        "fp16",
+        means="f2",
+        scales="logf2",
+        quaternions="f2",
+        opacities="f2",
+        sh_dc="f2",
+        sh_rest="f2",
+    ),
+    "compact": QuantSpec(
+        "compact",
+        means="u16",
+        scales="logf2",
+        quaternions="u8",
+        opacities="u8",
+        sh_dc="f2",
+        sh_rest="u8",
+    ),
+}
+
+
+def quant_spec(name: str) -> QuantSpec:
+    """Return the named tier, raising ``KeyError`` with the available names."""
+    key = name.lower()
+    if key not in QUANT_SPECS:
+        raise KeyError(
+            f"unknown quantization tier {name!r}; available: {sorted(QUANT_SPECS)}"
+        )
+    return QUANT_SPECS[key]
+
+
+# ----------------------------------------------------------------------
+# Per-attribute encode/decode
+# ----------------------------------------------------------------------
+def _encode_minmax(values: np.ndarray, levels: int, dtype) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Uniform fixed-point quantization of ``values`` over per-column ranges.
+
+    Returns ``(codes, lo, hi)`` where columns are every axis but the first
+    (the Gaussian axis).  Degenerate ranges (``hi == lo``, including the
+    empty scene) encode to zero codes and decode to ``lo`` exactly.
+    """
+    if values.shape[0] == 0:
+        lo = np.zeros(values.shape[1:])
+        hi = np.zeros(values.shape[1:])
+        return np.zeros(values.shape, dtype=dtype), lo, hi
+    lo = values.min(axis=0)
+    hi = values.max(axis=0)
+    span = hi - lo
+    safe_span = np.where(span > 0, span, 1.0)
+    codes = np.round((values - lo) / safe_span * levels)
+    codes = np.clip(codes, 0, levels).astype(dtype)
+    return codes, lo, hi
+
+
+def _decode_minmax(codes: np.ndarray, lo: np.ndarray, hi: np.ndarray, levels: int) -> np.ndarray:
+    """Invert :func:`_encode_minmax` back to float64 values."""
+    span = hi - lo
+    return lo + codes.astype(np.float64) / levels * span
+
+
+def _unit_quaternions(scene: GaussianScene) -> np.ndarray:
+    if scene.num_gaussians == 0:
+        return scene.quaternions.astype(np.float64)
+    return scene.normalized_quaternions()
+
+
+def _positive_float_cast(values: np.ndarray, mode: str) -> np.ndarray:
+    """Cast strictly-positive values to ``mode``, preserving positivity.
+
+    A narrowing cast can round a tiny positive float64 (e.g. an opacity of
+    1e-8) to 0.0, which would make the decoded scene fail validation; pin
+    such underflows to the target dtype's smallest subnormal instead.
+    """
+    dtype = np.dtype(mode)
+    cast = values.astype(dtype)
+    if mode == "f8":
+        return cast
+    return np.maximum(cast, np.finfo(dtype).smallest_subnormal)
+
+
+def encode_scene(scene: GaussianScene, spec: QuantSpec) -> dict[str, np.ndarray]:
+    """Encode ``scene`` under ``spec`` into a flat payload-array mapping.
+
+    Encoding is deterministic: the same (scene, spec) always produces
+    byte-identical payload arrays, which is what makes farm workers that
+    decode a shipped payload agree bitwise with a parent that decoded the
+    same encoding in-process.
+    """
+    payload: dict[str, np.ndarray] = {}
+
+    if spec.means == "u16":
+        codes, lo, hi = _encode_minmax(scene.means, 65535, np.uint16)
+        payload["means"] = codes
+        payload["means_lo"] = lo
+        payload["means_hi"] = hi
+    else:
+        payload["means"] = scene.means.astype(np.dtype(spec.means))
+
+    if spec.scales == "logf2":
+        payload["scales"] = np.log(scene.scales).astype(np.float16)
+    else:
+        payload["scales"] = _positive_float_cast(scene.scales, spec.scales)
+
+    if spec.quaternions == "u8":
+        unit = _unit_quaternions(scene)
+        codes = np.round((unit + 1.0) / 2.0 * 255.0)
+        payload["quaternions"] = np.clip(codes, 0, 255).astype(np.uint8)
+    elif spec.quaternions == "f8":
+        payload["quaternions"] = scene.quaternions.astype(np.float64)
+    else:
+        payload["quaternions"] = _unit_quaternions(scene).astype(
+            np.dtype(spec.quaternions)
+        )
+
+    if spec.opacities == "u8":
+        codes = np.clip(np.round(scene.opacities * 255.0), 1, 255)
+        payload["opacities"] = codes.astype(np.uint8)
+    else:
+        payload["opacities"] = _positive_float_cast(scene.opacities, spec.opacities)
+
+    dc = scene.sh_coeffs[:, :, 0]
+    rest = scene.sh_coeffs[:, :, 1:]
+    payload["sh_dc"] = dc.astype(np.dtype(spec.sh_dc))
+    if spec.sh_rest == "u8":
+        codes, lo, hi = _encode_minmax(rest, 255, np.uint8)
+        payload["sh_rest"] = codes
+        payload["sh_rest_lo"] = lo
+        payload["sh_rest_hi"] = hi
+    else:
+        payload["sh_rest"] = rest.astype(np.dtype(spec.sh_rest))
+
+    return payload
+
+
+def decode_payload(payload: dict[str, np.ndarray], spec: QuantSpec) -> GaussianScene:
+    """Decode a payload produced by :func:`encode_scene` back into a scene.
+
+    The result is always a valid :class:`GaussianScene` (float64 arrays,
+    positive scales, opacities in (0, 1], non-zero quaternions); for the
+    ``lossless`` tier it is bit-for-bit the encoded scene.
+    """
+    if spec.means == "u16":
+        means = _decode_minmax(
+            payload["means"], payload["means_lo"], payload["means_hi"], 65535
+        )
+    else:
+        means = payload["means"].astype(np.float64)
+
+    if spec.scales == "logf2":
+        # exp() of float64's most negative log still underflows to 0.0 for
+        # pathological (denormal-scale) inputs; pin to the smallest positive
+        # double so the decoded scene always validates.
+        scales = np.maximum(
+            np.exp(payload["scales"].astype(np.float64)),
+            np.finfo(np.float64).smallest_subnormal,
+        )
+    else:
+        scales = payload["scales"].astype(np.float64)
+
+    if spec.quaternions == "u8":
+        quaternions = payload["quaternions"].astype(np.float64) / 255.0 * 2.0 - 1.0
+    else:
+        quaternions = payload["quaternions"].astype(np.float64)
+
+    if spec.opacities == "u8":
+        opacities = payload["opacities"].astype(np.float64) / 255.0
+    else:
+        opacities = payload["opacities"].astype(np.float64)
+
+    dc = payload["sh_dc"].astype(np.float64)
+    if spec.sh_rest == "u8":
+        rest = _decode_minmax(
+            payload["sh_rest"], payload["sh_rest_lo"], payload["sh_rest_hi"], 255
+        )
+    else:
+        rest = payload["sh_rest"].astype(np.float64)
+    sh_coeffs = np.concatenate([dc[:, :, None], rest], axis=2)
+
+    name = payload.get("name")
+    return GaussianScene(
+        means=means,
+        scales=scales,
+        quaternions=quaternions,
+        opacities=opacities,
+        sh_coeffs=sh_coeffs,
+        name=str(name) if name is not None else "scene",
+    )
+
+
+def roundtrip_scene(scene: GaussianScene, spec: QuantSpec) -> GaussianScene:
+    """``decode(encode(scene))`` — the scene a quality tier actually renders.
+
+    For the ``lossless`` tier this returns ``scene`` itself (no copy), so
+    lossless serving is structurally bit-identical to the legacy path.
+    """
+    if spec.is_lossless:
+        return scene
+    decoded = decode_payload(encode_scene(scene, spec), spec)
+    return dataclasses.replace(decoded, name=scene.name)
+
+
+# ----------------------------------------------------------------------
+# Byte accounting
+# ----------------------------------------------------------------------
+def payload_nbytes(payload: dict[str, np.ndarray]) -> int:
+    """Exact bytes of an encoded payload (all arrays, aux ranges included)."""
+    return int(sum(np.asarray(a).nbytes for a in payload.values()))
+
+
+def fp32_nbytes(scene: GaussianScene) -> int:
+    """The paper's fp32 baseline: 59 floats = 236 bytes per Gaussian."""
+    return scene.num_gaussians * BYTES_PER_GAUSSIAN
+
+
+def encoded_nbytes(scene: GaussianScene, spec: QuantSpec) -> int:
+    """Exact payload bytes of ``scene`` encoded under ``spec``."""
+    return payload_nbytes(encode_scene(scene, spec))
+
+
+def compression_ratio(scene: GaussianScene, spec: QuantSpec) -> float:
+    """fp32-baseline bytes divided by exact encoded payload bytes.
+
+    An empty scene has nothing to compress (the payload is aux overhead
+    only), so its ratio is defined as 1.0.
+    """
+    if scene.num_gaussians == 0:
+        return 1.0
+    return fp32_nbytes(scene) / encoded_nbytes(scene, spec)
+
+
+# ----------------------------------------------------------------------
+# Versioned on-disk container
+# ----------------------------------------------------------------------
+def save_scene_store(scene: GaussianScene, path: str | Path, spec: QuantSpec) -> None:
+    """Write ``scene`` encoded under ``spec`` to a versioned ``.npz`` container.
+
+    The container records the store version, the scene name and every
+    :class:`QuantSpec` field, so :func:`load_scene_store` needs no external
+    spec to decode.  Distinct from the lossless archive of
+    :func:`repro.gaussians.io.save_scene_npz` (which this format complements,
+    not replaces): the discriminating key is ``store_version``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = encode_scene(scene, spec)
+    spec_fields = {
+        f"spec_{f.name}": np.array(getattr(spec, f.name))
+        for f in dataclasses.fields(spec)
+    }
+    np.savez_compressed(
+        path,
+        store_version=np.array(STORE_VERSION),
+        name=np.array(scene.name),
+        **spec_fields,
+        **payload,
+    )
+
+
+def load_scene_store(path: str | Path) -> GaussianScene:
+    """Load and decode a container written by :func:`save_scene_store`.
+
+    Raises ``ValueError`` for a non-store archive or an unsupported store
+    version.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if "store_version" not in data.files:
+            raise ValueError(
+                f"{path} is not a quantized scene-store container (no "
+                "'store_version' key); for lossless scene archives use "
+                "repro.gaussians.io.load_scene_npz"
+            )
+        version = int(data["store_version"])
+        if version != STORE_VERSION:
+            raise ValueError(
+                f"unsupported scene-store version {version} in {path}; "
+                f"this build reads version {STORE_VERSION}"
+            )
+        spec_kwargs = {
+            f.name: str(data[f"spec_{f.name}"])
+            for f in dataclasses.fields(QuantSpec)
+        }
+        spec = QuantSpec(**spec_kwargs)
+        payload = {
+            key: data[key]
+            for key in data.files
+            if key != "store_version" and not key.startswith("spec_")
+        }
+    scene = decode_payload(payload, spec)
+    return dataclasses.replace(scene, name=str(payload.get("name", scene.name)))
+
+
+def is_store_file(path: str | Path) -> bool:
+    """True when ``path`` is a readable quantized scene-store container."""
+    try:
+        with np.load(Path(path), allow_pickle=False) as data:
+            return "store_version" in data.files
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return False

@@ -68,3 +68,37 @@ class TestTextRoundtrip:
     def test_malformed_line_raises(self):
         with pytest.raises(ValueError):
             scene_from_text("1.0 2.0 3.0\n")
+
+
+class TestVersionMismatch:
+    def test_npz_version_mismatch_raises(self, tmp_path, smoke_scene):
+        path = tmp_path / "scene.npz"
+        save_scene_npz(smoke_scene, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+        arrays["version"] = np.array(999)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version 999"):
+            load_scene_npz(path)
+
+    def test_text_version_mismatch_raises(self):
+        scene = make_scene("smoke", scale=0.1)
+        text = scene_to_text(scene).replace(
+            "# repro-gaussian-scene v1", "# repro-gaussian-scene v99"
+        )
+        with pytest.raises(ValueError, match="version 99"):
+            scene_from_text(text)
+
+    def test_text_current_version_header_accepted(self):
+        scene = make_scene("smoke", scale=0.1)
+        assert scene_to_text(scene).startswith("# repro-gaussian-scene v1\n")
+        assert scene_from_text(scene_to_text(scene)).num_gaussians == scene.num_gaussians
+
+    def test_headerless_text_still_loads(self):
+        scene = make_scene("smoke", scale=0.1)
+        body = "\n".join(
+            line
+            for line in scene_to_text(scene).splitlines()
+            if not line.startswith("# repro-gaussian-scene")
+        )
+        assert scene_from_text(body).num_gaussians == scene.num_gaussians

@@ -139,3 +139,110 @@ class TestRunnerIntegration:
         assert len(cache()) >= 1
         clear_cache()
         assert len(cache()) == 0
+
+
+class TestPopResizeClear:
+    def test_pop_removes_without_touching_stats(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        before = (cache.stats.hits, cache.stats.misses, cache.stats.evictions)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", default="gone") == "gone"
+        assert "a" not in cache
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.evictions) == before
+
+    def test_resize_shrink_evicts_lru_first(self):
+        cache = LRUCache(maxsize=4)
+        for key in "abcd":
+            cache.put(key, key)
+        cache.get("a")  # refresh: "b" is now LRU
+        cache.resize(2)
+        assert cache.keys() == ["d", "a"]
+        assert cache.stats.evictions == 2
+        assert cache.maxsize == 2
+
+    def test_resize_to_unbounded(self):
+        cache = LRUCache(maxsize=1)
+        cache.resize(None)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 10
+        assert cache.stats.evictions == 0
+
+    def test_resize_invalid(self):
+        with pytest.raises(ValueError):
+            LRUCache().resize(0)
+        with pytest.raises(ValueError):
+            LRUCache().resize(-3)
+
+    def test_clear_keeps_stats_by_default(self):
+        cache = LRUCache(maxsize=2)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_clear_reset_stats_zeroes_counters(self):
+        cache = LRUCache(maxsize=2)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("a", lambda: 1)
+        cache.clear(reset_stats=True)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        assert cache.stats.evictions == 0
+        assert cache.stats.requests == 0
+
+
+class TestRunnerCacheConfiguration:
+    def test_capacity_from_env_default(self, monkeypatch):
+        from repro.eval.runner import DEFAULT_CACHE_MAXSIZE, _capacity_from_env
+
+        monkeypatch.delenv("REPRO_CACHE_SIZE", raising=False)
+        assert _capacity_from_env() == DEFAULT_CACHE_MAXSIZE
+
+    def test_capacity_from_env_value(self, monkeypatch):
+        from repro.eval.runner import _capacity_from_env
+
+        monkeypatch.setenv("REPRO_CACHE_SIZE", "17")
+        assert _capacity_from_env() == 17
+
+    def test_capacity_from_env_unbounded_spellings(self, monkeypatch):
+        from repro.eval.runner import _capacity_from_env
+
+        # Every zero spelling must disable eviction, not build LRUCache(0).
+        for spelling in ("none", "NONE", "unbounded", "0", "+0", "00"):
+            monkeypatch.setenv("REPRO_CACHE_SIZE", spelling)
+            assert _capacity_from_env() is None
+
+    def test_capacity_from_env_invalid(self, monkeypatch):
+        from repro.eval.runner import _capacity_from_env
+
+        monkeypatch.setenv("REPRO_CACHE_SIZE", "-2")
+        with pytest.raises(ValueError):
+            _capacity_from_env()
+        monkeypatch.setenv("REPRO_CACHE_SIZE", "many")
+        with pytest.raises(ValueError):
+            _capacity_from_env()
+
+    def test_cache_accessor_resizes_in_place(self):
+        from repro.eval import runner
+
+        original = runner.cache().maxsize
+        try:
+            resized = runner.cache(capacity=8)
+            assert resized is runner.cache()
+            assert runner.cache().maxsize == 8
+        finally:
+            runner.cache(capacity=original)
+        assert runner.cache().maxsize == original
+
+    def test_clear_cache_reset_stats(self):
+        from repro.eval.runner import EvalSetup, cache, clear_cache, load_scene_and_camera
+
+        clear_cache(reset_stats=True)
+        load_scene_and_camera(EvalSetup("train", quick=True))
+        assert cache().stats.requests >= 1
+        clear_cache(reset_stats=True)
+        assert cache().stats.requests == 0

@@ -1,0 +1,281 @@
+"""Tests for the quantized scene codec: round-trips, containers, accounting.
+
+Property-style coverage: every (tier x edge-case scene) pair must decode to
+a *valid* scene with per-attribute errors inside the bound the encoding
+implies, including the 0-Gaussian scene, a single Gaussian, degenerate
+(unnormalised / axis-aligned) quaternions and float32 input arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gaussians.model import GaussianScene, SceneValidationError
+from repro.gaussians.sh import SH_COEFFS_PER_CHANNEL
+from repro.gaussians.synthetic import make_scene
+from repro.store.codec import (
+    QUANT_SPECS,
+    STORE_VERSION,
+    QuantSpec,
+    compression_ratio,
+    decode_payload,
+    encode_scene,
+    encoded_nbytes,
+    fp32_nbytes,
+    is_store_file,
+    load_scene_store,
+    payload_nbytes,
+    quant_spec,
+    roundtrip_scene,
+    save_scene_store,
+)
+
+TIERS = sorted(QUANT_SPECS)
+
+
+def _scene_from_arrays(n: int, rng: np.random.Generator, dtype=np.float64) -> GaussianScene:
+    """A small random-but-valid scene with arrays in the given dtype."""
+    quats = rng.normal(size=(n, 4)).astype(dtype)
+    return GaussianScene(
+        means=(rng.uniform(-5, 5, size=(n, 3))).astype(dtype),
+        scales=rng.uniform(0.01, 2.0, size=(n, 3)).astype(dtype),
+        quaternions=quats,
+        opacities=rng.uniform(1 / 255, 1.0, size=n).astype(dtype),
+        sh_coeffs=rng.normal(0, 0.4, size=(n, 3, SH_COEFFS_PER_CHANNEL)).astype(dtype),
+        name="random",
+    )
+
+
+def edge_scenes() -> dict[str, GaussianScene]:
+    rng = np.random.default_rng(42)
+    single = GaussianScene(
+        means=np.array([[0.3, -0.2, 1.0]]),
+        scales=np.array([[0.5, 0.05, 0.005]]),
+        quaternions=np.array([[1.0, 0.0, 0.0, 0.0]]),
+        opacities=np.array([1.0]),
+        sh_coeffs=np.zeros((1, 3, SH_COEFFS_PER_CHANNEL)),
+        name="single",
+    )
+    # Unnormalised and near-degenerate (but valid: norm >= 1e-8) rotations.
+    degenerate = GaussianScene(
+        means=np.zeros((3, 3)),
+        scales=np.full((3, 3), 0.1),
+        quaternions=np.array(
+            [[200.0, 0.0, 0.0, 0.0], [1e-7, 0.0, 0.0, 0.0], [0.0, 0.0, 0.0, -1.0]]
+        ),
+        opacities=np.array([0.5, 1 / 255, 1.0]),
+        sh_coeffs=np.zeros((3, 3, SH_COEFFS_PER_CHANNEL)),
+        name="degenerate",
+    )
+    return {
+        "empty": GaussianScene.empty("void"),
+        "single": single,
+        "degenerate-quats": degenerate,
+        "float32-arrays": _scene_from_arrays(17, rng, dtype=np.float32),
+        "smoke": make_scene("smoke", scale=0.5),
+    }
+
+
+EDGE_SCENES = edge_scenes()
+
+
+class TestRoundtripProperties:
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("case", sorted(EDGE_SCENES))
+    def test_decode_is_valid_scene(self, tier, case):
+        scene = EDGE_SCENES[case]
+        restored = roundtrip_scene(scene, QUANT_SPECS[tier])
+        restored.validate()  # raises SceneValidationError on any violation
+        assert restored.num_gaussians == scene.num_gaussians
+        assert restored.name == scene.name
+
+    @pytest.mark.parametrize("case", sorted(EDGE_SCENES))
+    def test_lossless_is_bit_identical(self, case):
+        scene = EDGE_SCENES[case]
+        payload = encode_scene(scene, QUANT_SPECS["lossless"])
+        restored = decode_payload(payload, QUANT_SPECS["lossless"])
+        for field in ("means", "scales", "quaternions", "opacities", "sh_coeffs"):
+            assert np.array_equal(getattr(restored, field), getattr(scene, field)), field
+
+    @pytest.mark.parametrize("tier", ["fp16", "compact"])
+    @pytest.mark.parametrize("case", sorted(EDGE_SCENES))
+    def test_lossy_error_bounds(self, tier, case):
+        scene = EDGE_SCENES[case]
+        if scene.num_gaussians == 0:
+            return
+        restored = roundtrip_scene(scene, QUANT_SPECS[tier])
+        spec = QUANT_SPECS[tier]
+
+        if spec.means == "u16":
+            span = scene.means.max(axis=0) - scene.means.min(axis=0)
+            bound = span / 65535 + 1e-12
+        else:  # fp16: relative error of the widest-magnitude coordinate
+            bound = np.maximum(np.abs(scene.means), 1.0) * 2.0 ** -10
+        assert np.all(np.abs(restored.means - scene.means) <= bound.max() + 1e-9)
+
+        # log-domain fp16 scales: absolute log error bounded by fp16 ulp of
+        # the log magnitude (~0.05% relative at unit scale, growing with
+        # |log scale| — still sub-percent at the 1e-9..1e2 extremes).
+        log_err = np.abs(np.log(restored.scales) - np.log(scene.scales))
+        assert np.all(log_err <= np.maximum(np.abs(np.log(scene.scales)), 1.0) * 2.0 ** -10)
+
+        # Lossy tiers store the unit quaternion.
+        unit = scene.normalized_quaternions()
+        restored_unit = restored.normalized_quaternions()
+        dot = np.abs(np.sum(unit * restored_unit, axis=1))
+        assert np.all(dot > 0.9999)
+
+        assert np.all(np.abs(restored.opacities - scene.opacities) <= 0.5 / 255 + 1e-3)
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_encoding_is_deterministic(self, tier):
+        scene = EDGE_SCENES["smoke"]
+        a = encode_scene(scene, QUANT_SPECS[tier])
+        b = encode_scene(scene, QUANT_SPECS[tier])
+        assert sorted(a) == sorted(b)
+        for key in a:
+            assert np.array_equal(a[key], b[key]), key
+            assert a[key].dtype == b[key].dtype, key
+
+
+class TestContainer:
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("case", sorted(EDGE_SCENES))
+    def test_file_roundtrip_matches_memory_roundtrip(self, tmp_path, tier, case):
+        scene = EDGE_SCENES[case]
+        expected = roundtrip_scene(scene, QUANT_SPECS[tier])
+        path = tmp_path / f"{tier}.npz"
+        save_scene_store(scene, path, QUANT_SPECS[tier])
+        restored = load_scene_store(path)
+        for field in ("means", "scales", "quaternions", "opacities", "sh_coeffs"):
+            assert np.array_equal(getattr(restored, field), getattr(expected, field)), field
+        assert restored.name == scene.name
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "scene.npz"
+        save_scene_store(EDGE_SCENES["smoke"], path, QUANT_SPECS["compact"])
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+        arrays["store_version"] = np.array(STORE_VERSION + 1)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_scene_store(path)
+
+    def test_plain_scene_npz_is_rejected_with_pointer(self, tmp_path, smoke_scene):
+        from repro.gaussians.io import save_scene_npz
+
+        path = tmp_path / "plain.npz"
+        save_scene_npz(smoke_scene, path)
+        with pytest.raises(ValueError, match="load_scene_npz"):
+            load_scene_store(path)
+
+    def test_is_store_file(self, tmp_path, smoke_scene):
+        from repro.gaussians.io import save_scene_npz
+
+        store_path = tmp_path / "store.npz"
+        save_scene_store(smoke_scene, store_path, QUANT_SPECS["fp16"])
+        plain_path = tmp_path / "plain.npz"
+        save_scene_npz(smoke_scene, plain_path)
+        assert is_store_file(store_path)
+        assert not is_store_file(plain_path)
+        assert not is_store_file(tmp_path / "absent.npz")
+
+
+class TestSpecsAndAccounting:
+    def test_unknown_modes_raise(self):
+        with pytest.raises(ValueError, match="means"):
+            QuantSpec("bad", means="u8")
+        with pytest.raises(ValueError, match="sh_rest"):
+            QuantSpec("bad", sh_rest="u16")
+
+    def test_quant_spec_lookup(self):
+        assert quant_spec("COMPACT") is QUANT_SPECS["compact"]
+        with pytest.raises(KeyError, match="available"):
+            quant_spec("int4")
+
+    def test_lossless_flag(self):
+        assert QUANT_SPECS["lossless"].is_lossless
+        assert not QUANT_SPECS["fp16"].is_lossless
+        assert not QUANT_SPECS["compact"].is_lossless
+
+    def test_roundtrip_lossless_returns_same_object(self, smoke_scene):
+        assert roundtrip_scene(smoke_scene, QUANT_SPECS["lossless"]) is smoke_scene
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_payload_bytes_are_exact(self, tier):
+        scene = EDGE_SCENES["smoke"]
+        payload = encode_scene(scene, QUANT_SPECS[tier])
+        assert payload_nbytes(payload) == sum(a.nbytes for a in payload.values())
+        assert encoded_nbytes(scene, QUANT_SPECS[tier]) == payload_nbytes(payload)
+
+    def test_nominal_bytes_per_gaussian_tracks_payload(self):
+        scene = EDGE_SCENES["smoke"]
+        for tier in TIERS:
+            spec = QUANT_SPECS[tier]
+            nominal = spec.bytes_per_gaussian() * scene.num_gaussians
+            actual = encoded_nbytes(scene, spec)
+            # Aux range arrays add a small constant overhead only.
+            assert nominal <= actual <= nominal + 2048, tier
+
+    def test_compression_ratio_ordering(self):
+        scene = EDGE_SCENES["smoke"]
+        lossless = compression_ratio(scene, QUANT_SPECS["lossless"])
+        fp16 = compression_ratio(scene, QUANT_SPECS["fp16"])
+        compact = compression_ratio(scene, QUANT_SPECS["compact"])
+        assert lossless == 0.5  # float64 payload vs fp32 baseline
+        assert fp16 == pytest.approx(2.0)
+        assert compact > 3.0
+
+    def test_empty_scene_ratio_is_one(self):
+        assert compression_ratio(GaussianScene.empty(), QUANT_SPECS["compact"]) == 1.0
+        assert fp32_nbytes(GaussianScene.empty()) == 0
+
+
+class TestDecodeGuarantees:
+    @pytest.mark.parametrize("tier", ["fp16", "compact"])
+    def test_tiny_opacity_survives_narrowing_cast(self, tier):
+        """An opacity below float16's subnormal range must not decode to 0."""
+        scene = GaussianScene(
+            means=np.zeros((1, 3)),
+            scales=np.full((1, 3), 0.1),
+            quaternions=np.array([[1.0, 0, 0, 0]]),
+            opacities=np.array([1e-8]),
+            sh_coeffs=np.zeros((1, 3, SH_COEFFS_PER_CHANNEL)),
+        )
+        restored = roundtrip_scene(scene, QUANT_SPECS[tier])
+        restored.validate()
+        assert restored.opacities[0] > 0
+
+    @pytest.mark.parametrize("tier", ["fp16", "compact"])
+    def test_extreme_attribute_values_stay_in_domain(self, tier):
+        """Opacities pinned to (0, 1], scales positive, quats non-zero."""
+        n = 64
+        rng = np.random.default_rng(7)
+        scene = GaussianScene(
+            means=rng.uniform(-100, 100, size=(n, 3)),
+            scales=np.exp(rng.uniform(-9, 2, size=(n, 3))),
+            quaternions=rng.normal(size=(n, 4)) * 50,
+            opacities=np.clip(rng.uniform(0, 1, size=n), 1e-4, 1.0),
+            sh_coeffs=rng.normal(0, 2, size=(n, 3, SH_COEFFS_PER_CHANNEL)),
+        )
+        restored = roundtrip_scene(scene, QUANT_SPECS[tier])
+        assert np.all(restored.scales > 0)
+        assert np.all((restored.opacities > 0) & (restored.opacities <= 1))
+        assert np.all(np.linalg.norm(restored.quaternions, axis=1) >= 1e-8)
+
+    def test_truncated_payload_raises(self):
+        scene = EDGE_SCENES["smoke"]
+        payload = encode_scene(scene, QUANT_SPECS["compact"])
+        del payload["opacities"]
+        with pytest.raises(KeyError):
+            decode_payload(payload, QUANT_SPECS["compact"])
+
+    def test_mismatched_arrays_fail_validation(self):
+        scene = EDGE_SCENES["smoke"]
+        payload = encode_scene(scene, QUANT_SPECS["compact"])
+        payload["opacities"] = payload["opacities"][:-1]
+        with pytest.raises(SceneValidationError):
+            decode_payload(payload, QUANT_SPECS["compact"])
