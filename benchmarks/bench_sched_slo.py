@@ -1,0 +1,139 @@
+"""Scheduler SLO guard — adaptive quality tiering vs fixed-lossless serving.
+
+Not a paper figure: this benchmark guards the request-scheduling
+subsystem's central claim on a bursty overload workload (2-state MMPP at a
+mean offered load the lossless tier cannot sustain):
+
+1. *Fixed-lossless misses.*  Serving every request at ``(lod0, lossless)``
+   violates the 250 ms p95 SLO at this load — windowed e2e p95 lands well
+   above the SLO and attainment below the 95% bar.
+2. *Adaptive meets.*  The same workload (same seed, byte-identical request
+   stream) under the adaptive SLO controller — ladder walking, per-request
+   demotion, feasibility shedding — reaches >= 95% SLO attainment with
+   e2e p95 at or under the SLO, and higher goodput than the fixed baseline.
+3. *Replayability.*  Re-running the adaptive schedule with the same seed
+   reproduces the admission/degradation decision log exactly (list
+   equality over every structured event).
+
+Both runs use the deterministic virtual-clock decision plane, so the
+numbers — goodput, attainment, shed rate, tier histogram — are
+machine-independent and tracked in ``benchmarks/results/sched_slo.json``.
+
+Run with::
+
+    pytest benchmarks/bench_sched_slo.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.sched.qos import EventLog, QoSPolicy, SLOController
+from repro.sched.scheduler import RequestScheduler, run_workload
+from repro.sched.workload import WorkloadSpec
+
+SLO_MS = 250.0
+RATE_RPS = 12.0
+DURATION_S = 40.0
+SEED = 0
+MIN_ADAPTIVE_ATTAINMENT = 0.95
+
+WORKLOAD = WorkloadSpec(
+    arrival="bursty",
+    rate_rps=RATE_RPS,
+    duration_s=DURATION_S,
+    num_clients=4,
+    slo_ms=SLO_MS,
+    seed=SEED,
+)
+
+ADAPTIVE_QOS = QoSPolicy(
+    window=8, min_samples=4, cooldown=2, degrade_at=0.9, upgrade_at=0.45
+)
+
+
+def run_adaptive() -> tuple[dict, list[dict]]:
+    controller = SLOController(policy=ADAPTIVE_QOS, log=EventLog())
+    report = run_workload(WORKLOAD, RequestScheduler(qos=controller))
+    return report.summary(), list(report.log.events)
+
+
+def run_fixed_lossless() -> dict:
+    controller = SLOController(
+        policy=QoSPolicy(adaptive=False), ladder=((0, "lossless"),), log=EventLog()
+    )
+    report = run_workload(WORKLOAD, RequestScheduler(qos=controller))
+    return report.summary()
+
+
+def measure_sched_slo() -> dict:
+    adaptive, adaptive_events = run_adaptive()
+    replay, replay_events = run_adaptive()
+    fixed = run_fixed_lossless()
+    return {
+        "workload": adaptive["workload"],
+        "slo_ms": SLO_MS,
+        "adaptive": adaptive,
+        "fixed_lossless": fixed,
+        "decision_log_replays_identically": adaptive_events == replay_events
+        and adaptive == replay,
+        "num_decisions": len(adaptive_events),
+    }
+
+
+def _format_report(result: dict) -> str:
+    adaptive, fixed = result["adaptive"], result["fixed_lossless"]
+
+    def row(name: str, summary: dict) -> str:
+        latency = summary["latency_ms"]
+        return (
+            f"{name:<16}{summary['slo_attainment']:>11.1%}"
+            f"{latency['e2e_p95']:>11.1f}{summary['goodput_rps']:>10.2f}"
+            f"{summary['shed_rate']:>9.1%}"
+        )
+
+    lines = [
+        "Scheduler SLO attainment: adaptive quality ladder vs fixed lossless",
+        f"bursty workload: {RATE_RPS:.0f} rps mean over {DURATION_S:.0f} s, "
+        f"slo {SLO_MS:.0f} ms, seed {SEED} "
+        f"({adaptive['requests']['offered']} requests offered)",
+        "",
+        f"{'policy':<16}{'attainment':>11}{'e2e p95':>11}{'goodput':>10}{'shed':>9}",
+        row("adaptive", adaptive),
+        row("fixed lossless", fixed),
+        "",
+        "adaptive tier histogram: "
+        + "  ".join(f"{k}={v}" for k, v in adaptive["tier_histogram"].items()),
+        "adaptive decisions: "
+        + "  ".join(f"{k}={v}" for k, v in adaptive["decisions"].items()),
+        f"decision log replays identically: {result['decision_log_replays_identically']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_adaptive_tiering_meets_slo_fixed_lossless_misses(
+    benchmark, save_report, save_json
+):
+    result = run_once(benchmark, measure_sched_slo)
+    save_report("sched_slo", _format_report(result))
+    save_json("sched_slo", result)
+
+    adaptive, fixed = result["adaptive"], result["fixed_lossless"]
+
+    # The operating point is a real overload for lossless serving: its p95
+    # violates the SLO and attainment sits under the bar.
+    assert fixed["latency_ms"]["e2e_p95"] > SLO_MS
+    assert fixed["slo_attainment"] < MIN_ADAPTIVE_ATTAINMENT
+
+    # The adaptive controller turns the same workload into an SLO pass ...
+    assert adaptive["slo_attainment"] >= MIN_ADAPTIVE_ATTAINMENT
+    assert adaptive["latency_ms"]["e2e_p95"] <= SLO_MS * 1.05
+    # ... by actually using the ladder (several tiers served), and it
+    # out-serves the baseline, not just out-drops it.
+    assert len(adaptive["tier_histogram"]) >= 3
+    assert adaptive["decisions"].get("tier_down", 0) > 0
+    assert adaptive["goodput_rps"] > fixed["goodput_rps"]
+    assert adaptive["shed_rate"] < fixed["shed_rate"]
+
+    # Identical seeds reproduce identical admission/degradation decisions.
+    assert result["decision_log_replays_identically"]

@@ -1,7 +1,8 @@
 """Setuptools configuration (also the legacy path for offline ``pip install -e .``).
 
-Declares the ``src/`` package layout and the ``repro-serve`` console script
-fronting the render-farm serving subsystem (``python -m repro.serve``).
+Declares the ``src/`` package layout and the console scripts fronting the
+serving stack: ``repro-serve`` (render farm, ``python -m repro.serve``) and
+``repro-sched`` (multi-tenant request scheduler, ``python -m repro.sched``).
 """
 
 from setuptools import find_packages, setup
@@ -20,6 +21,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve = repro.serve.__main__:main",
+            "repro-sched = repro.sched.__main__:main",
         ]
     },
 )

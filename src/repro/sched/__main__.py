@@ -1,0 +1,313 @@
+"""Command-line front end of the request-scheduling subsystem.
+
+Generate a seeded synthetic workload and serve it through the multi-tenant
+scheduler, printing a goodput / SLO-attainment / tier-histogram report::
+
+    python -m repro.sched --arrival poisson --rate 8 --duration 20 --slo-ms 250
+    python -m repro.sched --arrival bursty --rate 12 --policy fixed \
+        --lod 0 --quant lossless --json
+    python -m repro.sched --rate 6 --duration 2 --clients 2 --quick \
+        --execute --workers 0 --json
+
+By default only the decision plane runs (the deterministic virtual clock —
+fast, machine-independent, replayable); ``--execute`` additionally renders
+every dispatched job for real through the render farm at the tier the
+controller chose.  ``--policy adaptive`` (default) walks the quality ladder
+under the SLO controller; ``--policy fixed`` pins serving to the single
+``--lod``/``--quant`` tier.
+
+The same entry point is installed as the ``repro-sched`` console script.
+Exit status 0 on success; bad arguments exit with ``argparse``'s status 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.eval.reporting import format_table
+from repro.eval.scenes import EVAL_SCENES
+from repro.gaussians.synthetic import BENCHMARK_SCENES
+from repro.render.common import BACKENDS
+from repro.sched.qos import DEFAULT_LADDER, EventLog, QoSPolicy, SLOController
+from repro.sched.scheduler import (
+    RequestScheduler,
+    ScheduleReport,
+    SchedulerPolicy,
+    run_workload,
+)
+from repro.sched.workload import ARRIVAL_KINDS, WorkloadSpec
+from repro.serve.farm import DATAFLOWS
+from repro.store.codec import QUANT_SPECS
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _frame_choices(text: str) -> tuple[int, ...]:
+    try:
+        frames = tuple(int(part) for part in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}") from exc
+    if not frames or any(n <= 0 for n in frames):
+        raise argparse.ArgumentTypeError("frame counts must be positive")
+    return frames
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description=(
+            "Serve a seeded synthetic workload through the multi-tenant "
+            "SLO-aware request scheduler."
+        ),
+    )
+    workload = parser.add_argument_group("workload")
+    workload.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=ARRIVAL_KINDS,
+        help="arrival process (open-loop)",
+    )
+    workload.add_argument(
+        "--rate",
+        type=_positive_float,
+        default=4.0,
+        help="mean offered load, requests per second",
+    )
+    workload.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=20.0,
+        help="arrival window in seconds",
+    )
+    workload.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=4,
+        help="number of tenants issuing requests",
+    )
+    workload.add_argument(
+        "--scenes",
+        nargs="+",
+        default=list(BENCHMARK_SCENES),
+        choices=sorted(EVAL_SCENES),
+        metavar="SCENE",
+        help="scene catalogue in popularity-rank order (Zipf rank 1 first)",
+    )
+    workload.add_argument(
+        "--zipf-s",
+        type=_nonnegative_float,
+        default=1.1,
+        help="Zipf exponent of scene popularity (0 = uniform)",
+    )
+    workload.add_argument(
+        "--frames-mix",
+        type=_frame_choices,
+        default=(2, 4, 8),
+        metavar="N,N,...",
+        help="frame counts a request may ask for (comma-separated)",
+    )
+    workload.add_argument(
+        "--slo-ms",
+        type=_positive_float,
+        default=250.0,
+        help="per-request end-to-end latency SLO (relative deadline)",
+    )
+    workload.add_argument(
+        "--seed",
+        type=_nonnegative_int,
+        default=0,
+        help="workload seed (same seed = same stream and decision log)",
+    )
+    serving = parser.add_argument_group("serving")
+    serving.add_argument(
+        "--policy",
+        default="adaptive",
+        choices=("adaptive", "fixed"),
+        help="adaptive quality ladder vs a fixed (--lod/--quant) tier",
+    )
+    serving.add_argument(
+        "--lod",
+        type=_nonnegative_int,
+        default=0,
+        help="fixed-policy LOD level (ignored with --policy adaptive)",
+    )
+    serving.add_argument(
+        "--quant",
+        default="lossless",
+        choices=sorted(QUANT_SPECS),
+        help="fixed-policy quantization tier (ignored with --policy adaptive)",
+    )
+    serving.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        help="farm worker lanes (0 or 1 = sequential farm)",
+    )
+    serving.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=64,
+        help="admission bound on waiting requests",
+    )
+    serving.add_argument(
+        "--window",
+        type=_positive_int,
+        default=16,
+        help="SLO controller sliding window (completed requests)",
+    )
+    serving.add_argument(
+        "--dataflow",
+        default="tilewise",
+        choices=DATAFLOWS,
+        help="rendering dataflow of dispatched jobs",
+    )
+    serving.add_argument(
+        "--backend",
+        default="vectorized",
+        choices=BACKENDS,
+        help="rasterisation engine of dispatched jobs",
+    )
+    serving.add_argument(
+        "--quick",
+        action="store_true",
+        help="serve the reduced quick presets (smoke runs)",
+    )
+    serving.add_argument(
+        "--execute",
+        action="store_true",
+        help="really render every dispatched job through the farm",
+    )
+    output = parser.add_argument_group("output")
+    output.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    output.add_argument(
+        "--events",
+        action="store_true",
+        help="include the full decision event log in the report (implies --json)",
+    )
+    return parser
+
+
+def build_controller(args: argparse.Namespace) -> SLOController:
+    """The SLO controller the parsed arguments describe."""
+    policy = QoSPolicy(
+        adaptive=args.policy == "adaptive",
+        window=args.window,
+        min_samples=max(1, args.window // 2),
+    )
+    ladder = DEFAULT_LADDER if args.policy == "adaptive" else ((args.lod, args.quant),)
+    return SLOController(policy=policy, ladder=ladder, log=EventLog())
+
+
+def format_report(report: ScheduleReport) -> str:
+    """Render a :class:`ScheduleReport` as a human-readable text report."""
+    summary = report.summary()
+    requests = summary["requests"]
+    latency = summary["latency_ms"]
+    mode = "adaptive ladder" if report.qos_policy.adaptive else "fixed tier"
+    lines = [
+        f"Scheduler run: arrival={report.spec.arrival} "
+        f"offered={summary['offered_rps']:.2f} rps over {report.spec.duration_s:.1f} s   "
+        f"clients={report.spec.num_clients}   slo={report.spec.slo_ms:.0f} ms   "
+        f"policy={mode} ({' > '.join(summary['policy']['ladder'])})",
+        f"  requests: {requests['offered']} offered   "
+        f"{requests['completed']} completed   {requests['shed']} shed   "
+        f"{requests['rejected']} rejected",
+        f"  slo attainment: {summary['slo_attainment']:.1%}   "
+        f"goodput: {summary['goodput_rps']:.2f} rps   "
+        f"shed rate: {summary['shed_rate']:.1%}",
+        f"  e2e latency: p50 {latency['e2e_p50']:.1f} ms   "
+        f"p95 {latency['e2e_p95']:.1f} ms   max {latency['e2e_max']:.1f} ms   "
+        f"(queue wait p95 {latency['queue_wait_p95']:.1f} ms)",
+        f"  decisions: " + (
+            "   ".join(f"{k}={v}" for k, v in summary["decisions"].items()) or "none"
+        ),
+    ]
+    if summary["executed"]:
+        measured = summary["measured"]
+        lines.append(
+            f"  data plane: {measured['frames']} frames rendered   "
+            f"measured frame p50 {measured['frame_p50_ms']:.1f} ms   "
+            f"p95 {measured['frame_p95_ms']:.1f} ms"
+        )
+    lines += [
+        "",
+        format_table(
+            ["tier", "requests served"],
+            sorted(summary["tier_histogram"].items()),
+            title="Tier histogram",
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    spec = WorkloadSpec(
+        arrival=args.arrival,
+        rate_rps=args.rate,
+        duration_s=args.duration,
+        num_clients=args.clients,
+        scenes=tuple(args.scenes),
+        zipf_s=args.zipf_s,
+        frame_choices=tuple(args.frames_mix),
+        slo_ms=args.slo_ms,
+        seed=args.seed,
+    )
+    scheduler = RequestScheduler(
+        policy=SchedulerPolicy(
+            num_workers=args.workers,
+            max_queue=args.max_queue,
+            dataflow=args.dataflow,
+            backend=args.backend,
+        ),
+        qos=build_controller(args),
+        quick=args.quick,
+        execute=args.execute,
+    )
+    report = run_workload(spec, scheduler)
+    if args.json or args.events:
+        print(
+            json.dumps(
+                report.summary(include_events=args.events), indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(format_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,285 @@
+"""SLO-aware adaptive quality control: the policy half of the scheduler.
+
+PR 3's scene store gave the serving stack a quality/cost dial — the
+``(lod, quant)`` tier of the scene a job renders — and this module is what
+turns it.  An :class:`SLOController` watches a sliding window of completed
+requests' end-to-end latencies and walks a **tier ladder** (costly to cheap)
+in response:
+
+* when windowed p95 latency exceeds ``degrade_at x SLO``, step one rung
+  *down* (cheaper tier: fewer Gaussians, coarser quantization);
+* when p95 drops below ``upgrade_at x SLO``, step back *up* — the hysteresis
+  gap between the two thresholds plus a cooldown (minimum completions
+  between moves) prevents flapping;
+* the window is cleared on every move, so each rung is judged by latencies
+  it actually produced, not by the backlog the previous rung left behind.
+
+Load shedding is the ladder's last rung conceptually: admission control
+(:mod:`repro.sched.scheduler`) asks :meth:`SLOController.should_shed`
+whether a request could meet its deadline *even at the cheapest tier*, and
+drops it up front when it cannot — serving it would burn capacity to
+produce a guaranteed SLO miss.
+
+Every decision — tier moves, sheds, admissions, dispatches, completions —
+is recorded in a structured :class:`EventLog` (plain dicts, JSON-ready).
+Because the scheduler runs its decision plane on a deterministic virtual
+clock (see :mod:`repro.sched.scheduler`), identical seeds reproduce the
+decision log byte for byte; the log *is* the replayable audit trail the
+acceptance criteria call for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.store.codec import QUANT_SPECS
+
+#: One rung of the quality ladder: the (lod, quant) tier jobs render at.
+Tier = tuple[int, str]
+
+#: Default quality ladder, most expensive first.  Quantization steps shrink
+#: the shipped/decoded payload; LOD steps shrink the per-frame render work
+#: itself (level k keeps ``0.5**k`` of the Gaussians), so successive rungs
+#: trade progressively more fidelity for progressively more headroom.
+DEFAULT_LADDER: tuple[Tier, ...] = (
+    (0, "lossless"),
+    (0, "fp16"),
+    (1, "fp16"),
+    (1, "compact"),
+    (2, "compact"),
+    (3, "compact"),
+)
+
+
+def tier_name(tier: Tier) -> str:
+    """Stable string form of a tier (used by histograms and event logs)."""
+    return f"lod{tier[0]}/{tier[1]}"
+
+
+class EventLog:
+    """Append-only structured record of every scheduling/QoS decision.
+
+    Entries are plain dicts with at least ``t_ms`` (virtual-clock timestamp)
+    and ``event`` (the decision kind); emitters attach whatever fields
+    describe the decision.  The log is JSON-serialisable as-is and list
+    equality is the determinism check two same-seed runs must pass.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+
+    def emit(self, t_ms: float, event: str, **fields) -> dict:
+        """Record one decision and return the entry just logged."""
+        entry = {"t_ms": round(float(t_ms), 6), "event": event, **fields}
+        self._events.append(entry)
+        return entry
+
+    @property
+    def events(self) -> list[dict]:
+        """The entries in emission order (the live list, do not mutate)."""
+        return self._events
+
+    def counts(self) -> dict[str, int]:
+        """Number of logged entries per event kind, sorted by kind."""
+        totals: dict[str, int] = {}
+        for entry in self._events:
+            totals[entry["event"]] = totals.get(entry["event"], 0) + 1
+        return dict(sorted(totals.items()))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+@dataclass(frozen=True)
+class QoSPolicy:
+    """Knobs of the SLO controller.
+
+    Attributes
+    ----------
+    adaptive:
+        ``False`` pins the controller to its starting rung forever (the
+        fixed-tier baseline the benchmark compares against); sheds are
+        still possible — a fixed-tier server must drop hopeless work too,
+        otherwise every comparison conflates tiering with admission.
+    window:
+        Sliding-window length in completed requests.
+    min_samples:
+        Completions required in the window before p95 is trusted.
+    cooldown:
+        Minimum completions between two tier moves.
+    degrade_at / upgrade_at:
+        Hysteresis thresholds on windowed p95 as multiples of the SLO
+        (degrade above ``degrade_at x slo``, upgrade below
+        ``upgrade_at x slo``).  ``upgrade_at`` must stay below
+        ``degrade_at``.
+    """
+
+    adaptive: bool = True
+    window: int = 16
+    min_samples: int = 8
+    cooldown: int = 4
+    degrade_at: float = 1.0
+    upgrade_at: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if not 0 < self.min_samples <= self.window:
+            raise ValueError("min_samples must lie in [1, window]")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.degrade_at <= 0 or self.upgrade_at <= 0:
+            raise ValueError("thresholds must be positive")
+        if self.upgrade_at >= self.degrade_at:
+            raise ValueError(
+                "upgrade_at must stay below degrade_at (hysteresis gap)"
+            )
+
+
+class SLOController:
+    """Adaptive (lod, quant) selection against a p95 latency SLO.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`QoSPolicy` knobs.
+    ladder:
+        Quality rungs, most expensive first.  A fixed-tier controller is a
+        one-rung ladder (or ``adaptive=False`` on a longer one).
+    log:
+        The shared :class:`EventLog` decisions are emitted into (a private
+        log is created when omitted).
+    """
+
+    def __init__(
+        self,
+        policy: QoSPolicy | None = None,
+        ladder: tuple[Tier, ...] = DEFAULT_LADDER,
+        log: EventLog | None = None,
+    ) -> None:
+        self.policy = policy or QoSPolicy()
+        if not ladder:
+            raise ValueError("ladder must have at least one tier")
+        for lod, quant in ladder:
+            if lod < 0:
+                raise ValueError("ladder lod levels must be non-negative")
+            if quant not in QUANT_SPECS:
+                raise ValueError(
+                    f"unknown ladder quant tier {quant!r}; "
+                    f"available: {sorted(QUANT_SPECS)}"
+                )
+        self.ladder = tuple((int(lod), quant) for lod, quant in ladder)
+        self.log = log if log is not None else EventLog()
+        self._rung = 0
+        self._window: deque[float] = deque(maxlen=self.policy.window)
+        self._since_move = 0
+
+    # ------------------------------------------------------------------
+    def reset(self, log: EventLog | None = None) -> None:
+        """Return the controller to its initial state (new serving run).
+
+        Clears the dynamic state — ladder rung, latency window, cooldown
+        counter — while keeping the configured policy and ladder, and
+        installs ``log`` (a fresh :class:`EventLog` when given) as the
+        decision log.  :meth:`RequestScheduler.run` calls this at the start
+        of every run, which is what makes a scheduler instance reusable:
+        each run starts from rung 0 with an empty log, so identical seeds
+        replay identical decision logs no matter how many runs preceded
+        them.
+        """
+        self._rung = 0
+        self._window.clear()
+        self._since_move = 0
+        if log is not None:
+            self.log = log
+
+    @property
+    def rung(self) -> int:
+        """Index of the current ladder rung (0 = most expensive)."""
+        return self._rung
+
+    @property
+    def current_tier(self) -> Tier:
+        """The (lod, quant) tier new dispatches should render at."""
+        return self.ladder[self._rung]
+
+    @property
+    def cheapest_tier(self) -> Tier:
+        """The cheapest tier this controller is *willing* to serve at.
+
+        What admission control projects feasibility against: the ladder's
+        last rung for an adaptive controller, but the pinned current rung
+        when ``adaptive=False`` — a fixed-tier controller never serves
+        below its rung, so shedding must not pretend it would.
+        """
+        return self.ladder[-1] if self.policy.adaptive else self.current_tier
+
+    def window_p95_ms(self) -> float | None:
+        """p95 of the current window, or ``None`` below ``min_samples``."""
+        if len(self._window) < self.policy.min_samples:
+            return None
+        return float(np.percentile(np.array(self._window), 95))
+
+    # ------------------------------------------------------------------
+    def observe(self, t_ms: float, e2e_ms: float, slo_ms: float) -> None:
+        """Feed one completed request's end-to-end latency.
+
+        May emit a ``tier_down`` / ``tier_up`` decision once the window
+        holds ``min_samples`` completions and ``cooldown`` completions have
+        passed since the last move.  The window is cleared on every move so
+        the new rung is judged only by latencies rendered at it.
+        """
+        self._window.append(float(e2e_ms))
+        self._since_move += 1
+        if not self.policy.adaptive or len(self.ladder) == 1:
+            return
+        if self._since_move < self.policy.cooldown:
+            return
+        p95 = self.window_p95_ms()
+        if p95 is None:
+            return
+        if p95 > slo_ms * self.policy.degrade_at and self._rung < len(self.ladder) - 1:
+            self._move(t_ms, self._rung + 1, "tier_down", p95, slo_ms)
+        elif p95 < slo_ms * self.policy.upgrade_at and self._rung > 0:
+            self._move(t_ms, self._rung - 1, "tier_up", p95, slo_ms)
+
+    def _move(
+        self, t_ms: float, new_rung: int, event: str, p95: float, slo_ms: float
+    ) -> None:
+        old = self.current_tier
+        self._rung = new_rung
+        self._since_move = 0
+        self._window.clear()
+        self.log.emit(
+            t_ms,
+            event,
+            from_tier=tier_name(old),
+            to_tier=tier_name(self.current_tier),
+            p95_ms=round(p95, 3),
+            slo_ms=slo_ms,
+        )
+
+    # ------------------------------------------------------------------
+    def should_shed(self, projected_cheapest_e2e_ms: float, slo_ms: float) -> bool:
+        """True when even the cheapest tier is projected to miss the SLO.
+
+        ``projected_cheapest_e2e_ms`` is the scheduler's estimate of the
+        request's end-to-end latency were it admitted *and* served at the
+        ladder's cheapest rung; when that already exceeds the SLO, admitting
+        the request can only produce a guaranteed miss while delaying
+        everyone behind it.
+        """
+        return projected_cheapest_e2e_ms > slo_ms
+
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "EventLog",
+    "QoSPolicy",
+    "SLOController",
+    "Tier",
+    "tier_name",
+]

@@ -1,0 +1,723 @@
+"""Multi-tenant request scheduler: admission, queueing, dispatch, accounting.
+
+:class:`RequestScheduler` consumes a :mod:`repro.sched.workload` request
+stream and serves it through the render farm under an SLO controller.  The
+design splits two planes:
+
+* **Decision plane (virtual clock, deterministic).**  Arrivals, admission
+  control, queueing, dispatch order and the QoS controller all run on an
+  event-driven simulation whose service durations come from a deterministic
+  analytic :class:`ServiceModel` (per-frame cost from the preset's Gaussian
+  count at the request's LOD, pixel count, and the quant tier's shipping
+  bytes).  Every decision is therefore a pure function of the workload seed
+  and the configuration — identical seeds replay identical event logs,
+  which is what makes SLO experiments comparable across machines and runs.
+* **Data plane (optional, real).**  With ``execute=True`` every dispatched
+  request additionally renders for real through the existing
+  :class:`~repro.serve.farm.RenderFarm`, at exactly the ``(lod, quant)``
+  tier the decision plane chose, streaming per-frame completions back
+  through the farm's ``on_frame`` callback.  Measured wall/frame times are
+  recorded alongside the modeled ones (they never feed back into decisions
+  — that would trade replayability for machine-local noise).
+
+Scheduling discipline: admitted requests wait in a priority/deadline queue
+— strict priority classes (premium tenants first), earliest absolute
+deadline within a class — and the farm serves one job at a time with its
+``num_workers`` frame-parallel lanes, which is exactly the contention that
+makes admission control and adaptive tiering necessary.
+
+Admission control at arrival time:
+
+1. **queue bound** — reject (``reject`` event) when ``max_queue`` requests
+   are already waiting;
+2. **deadline feasibility** — project the request's end-to-end latency if
+   served at the *cheapest* ladder tier behind the current backlog (the
+   backlog itself costed at the controller's *current* tier — the tier the
+   queue will actually drain at), and shed (``shed`` event) when even that
+   projection misses the deadline — the load-shedding half of the QoS
+   story.
+
+At dispatch the tier is chosen **per request**: the controller's current
+rung, demoted down the ladder only as far as the request's remaining
+deadline slack requires (see :meth:`RequestScheduler._dispatch_tier`); a
+request whose slack no longer fits even the cheapest rung is shed at the
+head of the queue (``shed`` event, ``deadline_expired_in_queue``) instead
+of burning capacity on a guaranteed miss.  Both behaviours belong to the
+*adaptive* controller — the fixed-tier baseline serves blindly at its
+pinned rung.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.scenes import eval_preset
+from repro.gaussians.synthetic import scaled_image_size, scene_spec
+from repro.render.common import BACKENDS
+from repro.sched.qos import EventLog, QoSPolicy, SLOController, Tier, tier_name
+from repro.sched.workload import Request, WorkloadSpec
+from repro.serve.farm import DATAFLOWS, RenderFarm
+from repro.serve.trajectories import RenderJob, make_trajectory
+from repro.store.codec import quant_spec
+from repro.store.lod import DEFAULT_RATIO, lod_keep_count
+
+
+# ----------------------------------------------------------------------
+# Deterministic service-time model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceModel:
+    """Analytic per-job cost model driving the virtual clock.
+
+    Costs are linear in the work the renderer actually does — Gaussians
+    preprocessed per frame and pixels blended — plus a per-job dispatch
+    overhead that scales with the *encoded* scene bytes the job's quant
+    tier would ship to the farm.  The coefficients are fixed constants (not
+    measured), which is deliberate: the model's job is to give the decision
+    plane a replayable notion of time whose *shape* matches the real system
+    (LOD halves render cost per level, quantization shrinks shipping), not
+    to predict any one machine's milliseconds.
+
+    Scene sizes are derived analytically from the preset tables
+    (``base_num_gaussians x scale``, then the LOD keep-count rule), so
+    costing a request against a built-in preset never builds a scene; the
+    one exception is a store-backed preset (``preset.store`` set), whose
+    size only the store knows — resolving it may build the base scene once,
+    after which the store's cache and this model's memo both hold it.
+
+    Per-(scene, quick, lod) results are memoised on the instance — the
+    admission path costs the whole queue against the model on every
+    arrival, and the underlying preset tables are stable for the model's
+    lifetime, so the arithmetic is paid once per distinct tier.
+    """
+
+    #: Fixed per-frame overhead (projection setup, sorting, traversal).
+    frame_base_ms: float = 1.0
+    #: Per-frame cost per thousand Gaussians at the request's LOD.
+    ms_per_kgaussian: float = 1.0
+    #: Per-frame cost per thousand rendered pixels.
+    ms_per_kpixel: float = 0.05
+    #: Fixed per-job dispatch overhead (queue pop, job build, pool wake).
+    dispatch_base_ms: float = 4.0
+    #: Scene-shipping cost per megabyte of the quant tier's encoded payload.
+    ship_ms_per_mb: float = 4.0
+    #: LOD keep ratio (level k retains ``lod_ratio**k`` of the scene).
+    lod_ratio: float = DEFAULT_RATIO
+
+    def __post_init__(self) -> None:
+        # Instance-local memo (not a dataclass field: excluded from eq/hash
+        # and from repr, and legal to mutate on a frozen instance).
+        object.__setattr__(self, "_memo", {})
+
+    def num_gaussians(self, scene: str, quick: bool, lod: int) -> int:
+        """Gaussian count of ``scene``'s preset at detail level ``lod``."""
+        key = ("gaussians", scene, quick, lod)
+        cached = self._memo.get(key)
+        if cached is None:
+            preset = eval_preset(scene, quick=quick)
+            if preset.store is not None:
+                # Store-backed presets fix their own size; resolve through
+                # the (cached) store rather than guessing from the scale
+                # field.  This may build the base scene once.
+                from repro.store.store import default_store
+
+                base = default_store().get(preset.store).num_gaussians
+            else:
+                spec = scene_spec(preset.name)
+                base = max(16, int(round(spec.base_num_gaussians * preset.scale)))
+            cached = lod_keep_count(base, lod, self.lod_ratio)
+            self._memo[key] = cached
+        return cached
+
+    def num_pixels(self, scene: str, quick: bool) -> int:
+        """Pixels per frame of ``scene``'s preset."""
+        key = ("pixels", scene, quick)
+        cached = self._memo.get(key)
+        if cached is None:
+            preset = eval_preset(scene, quick=quick)
+            width, height = scaled_image_size(
+                scene_spec(preset.name), preset.image_scale
+            )
+            cached = width * height
+            self._memo[key] = cached
+        return cached
+
+    def frame_ms(self, scene: str, quick: bool, lod: int) -> float:
+        """Modeled render time of one frame at detail level ``lod``."""
+        key = ("frame_ms", scene, quick, lod)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = (
+                self.frame_base_ms
+                + self.ms_per_kgaussian * self.num_gaussians(scene, quick, lod) / 1000.0
+                + self.ms_per_kpixel * self.num_pixels(scene, quick) / 1000.0
+            )
+            self._memo[key] = cached
+        return cached
+
+    def job_ms(self, request: Request, tier: Tier, workers: int, quick: bool) -> float:
+        """Modeled service time of ``request`` rendered at ``tier``.
+
+        ``workers`` frame-parallel lanes render the job's frames in
+        ``ceil(num_frames / workers)`` waves; the dispatch overhead adds the
+        encoded-payload shipping cost of the tier's quant level.
+        """
+        lod, quant = tier
+        gaussians = self.num_gaussians(request.scene, quick, lod)
+        ship_mb = quant_spec(quant).bytes_per_gaussian() * gaussians / 1e6
+        waves = math.ceil(request.num_frames / max(1, workers))
+        return (
+            self.dispatch_base_ms
+            + self.ship_ms_per_mb * ship_mb
+            + waves * self.frame_ms(request.scene, quick, lod)
+        )
+
+
+# ----------------------------------------------------------------------
+# Policy and outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Capacity and queueing knobs of the scheduler."""
+
+    #: Frame-parallel lanes of the serving farm (0/1 = sequential farm; the
+    #: virtual clock models ``max(1, num_workers)`` lanes either way).
+    num_workers: int = 1
+    #: Admission bound on waiting requests (beyond it arrivals are rejected).
+    max_queue: int = 64
+    #: Shed when the cheapest-tier projection exceeds ``shed_slack x SLO``.
+    shed_slack: float = 1.0
+    dataflow: str = "tilewise"
+    backend: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if self.shed_slack <= 0:
+            raise ValueError("shed_slack must be positive")
+        if self.dataflow not in DATAFLOWS:
+            raise ValueError(f"dataflow must be one of {DATAFLOWS}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+
+    @property
+    def model_workers(self) -> int:
+        """Lanes the virtual clock models (the sequential farm is one lane)."""
+        return max(1, self.num_workers)
+
+
+#: Terminal status of a request in a schedule.
+OUTCOME_STATUSES: tuple[str, ...] = ("completed", "shed", "rejected")
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one request, on both planes."""
+
+    request: Request
+    status: str
+    #: Tier the request was served at (``None`` when never dispatched).
+    tier: Tier | None = None
+    queue_wait_ms: float | None = None
+    service_ms: float | None = None
+    e2e_ms: float | None = None
+    slo_met: bool = False
+    #: Real farm wall time when the data plane executed (else ``None``).
+    measured_wall_ms: float | None = None
+    measured_frames: int = 0
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+def _percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.array(values), q)) if values else 0.0
+
+
+@dataclass
+class ScheduleReport:
+    """Aggregated result of one scheduler run over one workload."""
+
+    spec: WorkloadSpec
+    policy: SchedulerPolicy
+    qos_policy: QoSPolicy
+    ladder: tuple[Tier, ...]
+    outcomes: list[RequestOutcome]
+    log: EventLog
+    executed: bool
+    #: Real per-frame render latencies streamed off the farm (execute runs).
+    measured_frame_ms: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> list[RequestOutcome]:
+        return [o for o in self.outcomes if o.status == "completed"]
+
+    @property
+    def num_slo_met(self) -> int:
+        return sum(1 for o in self.completed if o.slo_met)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of completed requests that met their deadline."""
+        done = self.completed
+        return self.num_slo_met / len(done) if done else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests dropped rather than completed.
+
+        Counts queue-full rejects, admission-time feasibility sheds *and*
+        head-of-queue ``deadline_expired_in_queue`` sheds — every offered
+        request that did not complete.
+        """
+        if not self.outcomes:
+            return 0.0
+        dropped = sum(1 for o in self.outcomes if o.status != "completed")
+        return dropped / len(self.outcomes)
+
+    @property
+    def makespan_ms(self) -> float:
+        """Virtual time from t=0 to the last completion (or last arrival)."""
+        finish = [o.request.arrival_ms + (o.e2e_ms or 0.0) for o in self.outcomes]
+        return max(finish) if finish else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-met completions per second of virtual makespan."""
+        span_s = self.makespan_ms / 1000.0
+        return self.num_slo_met / span_s if span_s > 0 else 0.0
+
+    def tier_histogram(self) -> dict[str, int]:
+        """Dispatched requests per served tier (tier-name keyed, sorted)."""
+        totals: dict[str, int] = {}
+        for outcome in self.completed:
+            key = tier_name(outcome.tier)
+            totals[key] = totals.get(key, 0) + 1
+        return dict(sorted(totals.items()))
+
+    # ------------------------------------------------------------------
+    def summary(self, include_events: bool = False) -> dict:
+        """A JSON-serialisable report (the ``repro-sched`` CLI's payload)."""
+        completed = self.completed
+        e2e = [o.e2e_ms for o in completed]
+        waits = [o.queue_wait_ms for o in completed]
+        counts = {status: 0 for status in OUTCOME_STATUSES}
+        for outcome in self.outcomes:
+            counts[outcome.status] += 1
+        payload = {
+            "workload": {
+                "arrival": self.spec.arrival,
+                "rate_rps": self.spec.rate_rps,
+                "duration_s": self.spec.duration_s,
+                "num_clients": self.spec.num_clients,
+                "scenes": list(self.spec.scenes),
+                "zipf_s": self.spec.zipf_s,
+                "frame_choices": list(self.spec.frame_choices),
+                "slo_ms": self.spec.slo_ms,
+                "seed": self.spec.seed,
+            },
+            "policy": {
+                "num_workers": self.policy.num_workers,
+                "max_queue": self.policy.max_queue,
+                "shed_slack": self.policy.shed_slack,
+                "dataflow": self.policy.dataflow,
+                "backend": self.policy.backend,
+                "adaptive": self.qos_policy.adaptive,
+                "window": self.qos_policy.window,
+                "ladder": [tier_name(tier) for tier in self.ladder],
+            },
+            "requests": {
+                "offered": len(self.outcomes),
+                "completed": counts["completed"],
+                "shed": counts["shed"],
+                "rejected": counts["rejected"],
+            },
+            "offered_rps": len(self.outcomes) / self.spec.duration_s,
+            "goodput_rps": self.goodput_rps,
+            "slo_attainment": self.slo_attainment,
+            "shed_rate": self.shed_rate,
+            "latency_ms": {
+                "queue_wait_p50": _percentile(waits, 50),
+                "queue_wait_p95": _percentile(waits, 95),
+                "e2e_p50": _percentile(e2e, 50),
+                "e2e_p95": _percentile(e2e, 95),
+                "e2e_max": max(e2e) if e2e else 0.0,
+            },
+            "tier_histogram": self.tier_histogram(),
+            "decisions": self.log.counts(),
+            "num_events": len(self.log),
+            "makespan_s": self.makespan_ms / 1000.0,
+            "executed": self.executed,
+            "measured": (
+                {
+                    "frames": len(self.measured_frame_ms),
+                    "frame_p50_ms": _percentile(self.measured_frame_ms, 50),
+                    "frame_p95_ms": _percentile(self.measured_frame_ms, 95),
+                }
+                if self.executed
+                else None
+            ),
+        }
+        if include_events:
+            payload["events"] = list(self.log.events)
+        return payload
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class RequestScheduler:
+    """Admission-controlled multi-tenant scheduler over the render farm.
+
+    Parameters
+    ----------
+    policy:
+        Capacity/queueing knobs (:class:`SchedulerPolicy`).
+    qos:
+        The :class:`~repro.sched.qos.SLOController` choosing tiers and
+        shedding hopeless requests.  Defaults to an adaptive controller on
+        the default ladder; pass a one-rung ladder (or
+        ``QoSPolicy(adaptive=False)``) for a fixed-tier baseline.
+    service_model:
+        The deterministic :class:`ServiceModel` of the virtual clock.
+    quick:
+        Serve the reduced quick presets (tests, smoke runs).
+    execute:
+        Also render every dispatched job for real through ``farm``.
+    farm:
+        The :class:`~repro.serve.farm.RenderFarm` of the data plane;
+        defaults to a sequential farm sized by ``policy.num_workers``.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulerPolicy | None = None,
+        qos: SLOController | None = None,
+        service_model: ServiceModel | None = None,
+        quick: bool = False,
+        execute: bool = False,
+        farm: RenderFarm | None = None,
+    ) -> None:
+        self.policy = policy or SchedulerPolicy()
+        self.qos = qos if qos is not None else SLOController()
+        self.model = service_model or ServiceModel()
+        self.quick = quick
+        self.execute = execute
+        self.farm = farm or (
+            RenderFarm(num_workers=self.policy.num_workers) if execute else None
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list[Request], spec: WorkloadSpec) -> ScheduleReport:
+        """Serve ``requests`` (a stream generated from ``spec``) to completion.
+
+        Runs the event-driven virtual-clock loop: arrivals pass admission
+        control into the priority/deadline queue, the (single-job-at-a-time,
+        ``num_workers``-lane) farm serves them in EDF-within-priority order,
+        and every completion feeds the SLO controller.  Returns the full
+        :class:`ScheduleReport`; the decision log is
+        ``report.log`` and is identical across same-seed runs.
+        """
+        # Every run starts from a clean controller (rung 0, empty window)
+        # and a fresh decision log, so a reused scheduler instance replays
+        # identical seeds into identical logs; read the run's events via
+        # ``report.log``.
+        self.qos.reset(EventLog())
+        log = self.qos.log
+        outcomes: dict[int, RequestOutcome] = {}
+        measured_frame_ms: list[float] = []
+
+        # Event heap: (time, sequence, kind, payload).  Sequence breaks
+        # ties deterministically: arrivals are pre-pushed with the lowest
+        # sequence numbers, so at an exact time tie an arrival is handled
+        # *before* a completion — the conservative order (the arrival sees
+        # the server still busy and the queue still full).
+        events: list[tuple[float, int, str, object]] = []
+        seq = 0
+        for request in requests:
+            heapq.heappush(events, (request.arrival_ms, seq, "arrive", request))
+            seq += 1
+
+        # Waiting queue: (priority, absolute deadline, sequence, request) —
+        # strict priority classes, EDF within a class.
+        queue: list[tuple[int, float, int, Request]] = []
+        busy = False
+        running_until = 0.0
+
+        def queued_backlog_ms(request: Request) -> float:
+            """Drain cost of the queued work that outranks ``request``.
+
+            Two choices keep the admission projection honest.  First, only
+            the queue entries that would actually be served *before* the
+            arriving request count — higher priority class, or same class
+            with an earlier-or-equal deadline; the whole-queue sum would
+            shed a premium request behind a deep standard-tenant queue the
+            dispatcher is about to jump it over.  Second, the backlog is
+            costed at the tier jobs will actually be served at (the
+            controller's *current* tier, not the cheapest one): early in an
+            overload episode the controller is still on an expensive rung,
+            and a cheapest-tier estimate would admit requests whose real
+            wait already dooms them.
+            """
+            tier = self.qos.current_tier
+            return sum(
+                self.model.job_ms(r, tier, self.policy.model_workers, self.quick)
+                for priority, deadline, _, r in queue
+                if priority < request.priority
+                or (priority == request.priority and deadline <= request.deadline_ms)
+            )
+
+        def dispatch(now: float) -> None:
+            nonlocal busy, seq, running_until
+            while not busy and queue:
+                _, _, _, request = heapq.heappop(queue)
+                if self._serve_or_shed(now, request, outcomes, measured_frame_ms, log):
+                    busy = True
+                    running_until = now + outcomes[request.request_id].service_ms
+                    heapq.heappush(events, (running_until, seq, "complete", request))
+                    seq += 1
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            request = payload  # both event kinds carry the request
+            if kind == "arrive":
+                outcome = RequestOutcome(request=request, status="rejected")
+                outcomes[request.request_id] = outcome
+                if len(queue) >= self.policy.max_queue:
+                    log.emit(
+                        now,
+                        "reject",
+                        request=request.request_id,
+                        client=request.client_id,
+                        reason="queue_full",
+                        queue_depth=len(queue),
+                    )
+                    dispatch(now)
+                    continue
+                cheapest_ms = self.model.job_ms(
+                    request,
+                    self.qos.cheapest_tier,
+                    self.policy.model_workers,
+                    self.quick,
+                )
+                pending_ms = (running_until - now) if busy else 0.0
+                projected_ms = pending_ms + queued_backlog_ms(request) + cheapest_ms
+                if self.qos.should_shed(
+                    projected_ms, request.slo_ms * self.policy.shed_slack
+                ):
+                    outcome.status = "shed"
+                    log.emit(
+                        now,
+                        "shed",
+                        request=request.request_id,
+                        client=request.client_id,
+                        reason="deadline_infeasible",
+                        projected_ms=round(projected_ms, 3),
+                        slo_ms=request.slo_ms,
+                        cheapest_tier=tier_name(self.qos.cheapest_tier),
+                    )
+                    dispatch(now)
+                    continue
+                outcome.status = "admitted"
+                log.emit(
+                    now,
+                    "admit",
+                    request=request.request_id,
+                    client=request.client_id,
+                    priority=request.priority,
+                    queue_depth=len(queue),
+                )
+                heapq.heappush(
+                    queue, (request.priority, request.deadline_ms, seq, request)
+                )
+                seq += 1
+                dispatch(now)
+            else:  # complete
+                busy = False
+                outcome = outcomes[request.request_id]
+                outcome.status = "completed"
+                outcome.e2e_ms = now - request.arrival_ms
+                outcome.slo_met = outcome.e2e_ms <= request.slo_ms
+                log.emit(
+                    now,
+                    "complete",
+                    request=request.request_id,
+                    client=request.client_id,
+                    tier=tier_name(outcome.tier),
+                    e2e_ms=round(outcome.e2e_ms, 3),
+                    slo_met=outcome.slo_met,
+                )
+                self.qos.observe(now, outcome.e2e_ms, request.slo_ms)
+                dispatch(now)
+
+        ordered = [outcomes[r.request_id] for r in requests]
+        assert all(o.status in OUTCOME_STATUSES for o in ordered)
+        return ScheduleReport(
+            spec=spec,
+            policy=self.policy,
+            qos_policy=self.qos.policy,
+            ladder=self.qos.ladder,
+            outcomes=ordered,
+            log=log,
+            executed=self.execute,
+            measured_frame_ms=measured_frame_ms,
+        )
+
+    # ------------------------------------------------------------------
+    def _serve_or_shed(
+        self,
+        now: float,
+        request: Request,
+        outcomes: dict[int, RequestOutcome],
+        measured_frame_ms: list[float],
+        log: EventLog,
+    ) -> bool:
+        """Serve one popped request, or late-shed it when it became hopeless.
+
+        Returns ``True`` when the request occupies the server (a
+        ``dispatch`` event was emitted and the outcome holds the service
+        time), ``False`` when it was shed at the head of the queue: an
+        *adaptive* controller consults the cost model here and drops a
+        request whose remaining slack no longer fits even the cheapest
+        ladder rung — serving it would spend capacity on a guaranteed SLO
+        miss while everything behind it waits.  The fixed-tier baseline
+        serves blindly (no demotion, no late shed); its misses are the
+        point of the comparison.
+        """
+        tier, demoted_from = self._dispatch_tier(request, now)
+        service_ms = self.model.job_ms(
+            request, tier, self.policy.model_workers, self.quick
+        )
+        wait_ms = now - request.arrival_ms
+        outcome = outcomes[request.request_id]
+        slack_ms = request.deadline_ms - now
+        if self.qos.policy.adaptive and service_ms > slack_ms:
+            outcome.status = "shed"
+            outcome.queue_wait_ms = wait_ms
+            log.emit(
+                now,
+                "shed",
+                request=request.request_id,
+                client=request.client_id,
+                reason="deadline_expired_in_queue",
+                queue_wait_ms=round(wait_ms, 3),
+                cheapest_service_ms=round(service_ms, 3),
+                slo_ms=request.slo_ms,
+            )
+            return False
+        entry = {
+            "request": request.request_id,
+            "client": request.client_id,
+            "scene": request.scene,
+            "tier": tier_name(tier),
+            "queue_wait_ms": round(wait_ms, 3),
+            "service_ms": round(service_ms, 3),
+        }
+        if demoted_from is not None:
+            entry["demoted_from"] = tier_name(demoted_from)
+        log.emit(now, "dispatch", **entry)
+        outcome.tier = tier
+        outcome.queue_wait_ms = wait_ms
+        outcome.service_ms = service_ms
+        if self.execute:
+            self._execute(request, tier, outcome, measured_frame_ms)
+        return True
+
+    def _dispatch_tier(self, request: Request, now: float) -> tuple[Tier, Tier | None]:
+        """The tier ``request`` is served at, with per-request demotion.
+
+        Serving starts from the controller's current rung and walks *down*
+        the ladder only as far as the request's remaining deadline slack
+        requires — the "per-request tier" half of adaptive quality: a
+        request whose wait already ate most of its budget renders cheap
+        even while the global rung is still expensive, and one with plenty
+        of slack is untouched.  A fixed (one-rung) ladder cannot demote, by
+        construction.  If even the cheapest rung cannot make the deadline
+        this method still returns that rung — the caller,
+        :meth:`_serve_or_shed`, decides the request's fate (an adaptive
+        controller sheds it there; the fixed baseline serves blindly and
+        records the miss).
+
+        Returns ``(tier, demoted_from)`` where ``demoted_from`` is the
+        controller's rung when demotion happened, else ``None``.
+
+        Demotion is an *adaptive* behaviour: a ``QoSPolicy(adaptive=False)``
+        controller serves every request at its pinned rung no matter the
+        slack (that is what makes it the fixed-tier baseline), exactly as a
+        one-rung ladder would.
+        """
+        if not self.qos.policy.adaptive:
+            return self.qos.current_tier, None
+        ladder = self.qos.ladder
+        rung = self.qos.rung
+        slack_ms = request.deadline_ms - now
+        start = ladder[rung]
+        while rung < len(ladder) - 1 and (
+            self.model.job_ms(request, ladder[rung], self.policy.model_workers, self.quick)
+            > slack_ms
+        ):
+            rung += 1
+        tier = ladder[rung]
+        return tier, (start if tier != start else None)
+
+    def build_job(self, request: Request, tier: Tier) -> RenderJob:
+        """The concrete farm job serving ``request`` at ``tier``."""
+        trajectory = make_trajectory(
+            request.trajectory_kind,
+            num_frames=request.num_frames,
+            view_index=request.view_index,
+            seed=request.traj_seed,
+        )
+        return RenderJob(
+            scene=request.scene,
+            trajectory=trajectory,
+            quick=self.quick,
+            dataflow=self.policy.dataflow,
+            backend=self.policy.backend,
+            lod=tier[0],
+            quant=tier[1],
+        )
+
+    def _execute(
+        self,
+        request: Request,
+        tier: Tier,
+        outcome: RequestOutcome,
+        measured_frame_ms: list[float],
+    ) -> None:
+        """Data plane: really render the dispatched job through the farm."""
+        result = self.farm.run(
+            self.build_job(request, tier),
+            on_frame=lambda record: measured_frame_ms.append(record.render_ms),
+        )
+        outcome.measured_wall_ms = result.wall_seconds * 1000.0
+        outcome.measured_frames = result.num_frames
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    scheduler: RequestScheduler | None = None,
+) -> ScheduleReport:
+    """Generate ``spec``'s request stream and serve it (convenience wrapper)."""
+    from repro.sched.workload import generate_workload
+
+    scheduler = scheduler or RequestScheduler()
+    return scheduler.run(generate_workload(spec), spec)
+
+
+__all__ = [
+    "OUTCOME_STATUSES",
+    "RequestOutcome",
+    "RequestScheduler",
+    "ScheduleReport",
+    "SchedulerPolicy",
+    "ServiceModel",
+    "run_workload",
+]

@@ -1,0 +1,323 @@
+"""Synthetic traffic generation: seeded open-loop request streams.
+
+The render farm executes one pre-built job at a time; a serving system faces
+*traffic* — many clients issuing trajectory requests with their own arrival
+process, scene tastes and latency expectations.  This module generates that
+traffic synthetically, as an **open-loop** stream (arrivals do not wait for
+completions, the standard model for load experiments: offered load is a
+property of the workload, not of the server under test).
+
+Ingredients, all driven by one :class:`numpy.random.Generator` seeded from
+``WorkloadSpec.seed`` so a workload is a pure function of its spec:
+
+* **Arrival process** — ``"poisson"`` (exponential inter-arrival gaps at
+  ``rate_rps``) or ``"bursty"``, a 2-state Markov-modulated Poisson process
+  that alternates exponential dwell times in a *quiet* and a *burst* state;
+  the burst state arrives ``burst_factor`` times faster and the quiet rate
+  is chosen so the long-run mean stays ``rate_rps``.  Bursty traffic at the
+  same mean rate is what separates an SLO controller from a throughput
+  benchmark: transient queues form even when average utilisation is low.
+* **Scene popularity** — Zipf over the scene catalogue (by catalogue order:
+  entry ``i`` has weight ``(i + 1) ** -zipf_s``), matching the few-hot /
+  long-tail skew of real content serving.  The default catalogue is the six
+  benchmark scenes of the :func:`repro.store.store.default_store` zoo.
+* **Per-client mixes** — each client gets a deterministic
+  :class:`ClientProfile`: a favourite trajectory kind (rotating through
+  :data:`repro.serve.trajectories.TRAJECTORY_KINDS` by client id) that
+  dominates its trajectory mix, its own frame-count weighting over
+  ``frame_choices``, and a priority class (the first ``premium_clients``
+  clients are priority 0, the rest priority 1).
+
+The output is a list of :class:`Request` objects — arrival time, client,
+scene, trajectory kind + per-request jitter seed and anchor view, frame
+count, relative SLO — which the scheduler consumes without ever touching
+the RNG again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.synthetic import BENCHMARK_SCENES
+from repro.serve.trajectories import TRAJECTORY_KINDS
+
+#: Arrival processes :func:`generate_workload` understands.
+ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "bursty")
+
+#: Weight a client's favourite trajectory kind gets in its mix (the
+#: remaining mass is spread evenly over the other kinds).
+FAVOURITE_WEIGHT = 0.55
+
+#: Extra weight multiplier a client's favourite frame count gets.
+FAVOURITE_FRAMES_BOOST = 3.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that defines a synthetic request stream.
+
+    Attributes
+    ----------
+    arrival:
+        ``"poisson"`` or ``"bursty"`` (2-state MMPP).
+    rate_rps:
+        Long-run mean offered load in requests per second (both arrival
+        processes honour it).
+    duration_s:
+        Length of the arrival window; requests arrive in ``[0, duration_s)``.
+    num_clients:
+        Number of tenants issuing requests (uniformly at random per request).
+    scenes:
+        Scene catalogue, in popularity-rank order (Zipf rank 1 first).
+    zipf_s:
+        Zipf exponent of scene popularity (0 = uniform).
+    frame_choices:
+        Frame counts a request may ask for.
+    slo_ms:
+        Relative deadline attached to every request (its SLO).
+    premium_clients:
+        How many clients (ids ``0..premium_clients-1``) get priority 0;
+        the rest are priority 1 (larger = less urgent, scheduled after).
+    burst_factor:
+        Burst-state rate multiplier of the bursty process (> 1).
+    burst_fraction:
+        Long-run fraction of time spent in the burst state.  Must satisfy
+        ``burst_factor * burst_fraction < 1`` so the quiet rate stays
+        positive.
+    mean_dwell_s:
+        Mean state dwell time of the bursty process (average of the two
+        states' means, weighted by ``burst_fraction``).
+    seed:
+        Seed of the single RNG every random choice draws from.
+    """
+
+    arrival: str = "poisson"
+    rate_rps: float = 4.0
+    duration_s: float = 20.0
+    num_clients: int = 4
+    scenes: tuple[str, ...] = BENCHMARK_SCENES
+    zipf_s: float = 1.1
+    frame_choices: tuple[int, ...] = (2, 4, 8)
+    slo_ms: float = 250.0
+    premium_clients: int = 1
+    burst_factor: float = 3.0
+    burst_fraction: float = 0.25
+    mean_dwell_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; available: {ARRIVAL_KINDS}"
+            )
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not self.scenes:
+            raise ValueError("scenes must not be empty")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be non-negative")
+        if not self.frame_choices or any(n <= 0 for n in self.frame_choices):
+            raise ValueError("frame_choices must be positive frame counts")
+        if self.slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        if not 0 <= self.premium_clients <= self.num_clients:
+            raise ValueError("premium_clients must lie in [0, num_clients]")
+        if self.burst_factor <= 1:
+            raise ValueError("burst_factor must exceed 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ValueError("burst_fraction must lie strictly between 0 and 1")
+        if self.burst_factor * self.burst_fraction >= 1:
+            raise ValueError(
+                "burst_factor * burst_fraction must stay below 1 so the "
+                "quiet-state rate remains positive at the requested mean rate"
+            )
+        if self.mean_dwell_s <= 0:
+            raise ValueError("mean_dwell_s must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def quiet_rate_rps(self) -> float:
+        """Quiet-state rate keeping the bursty long-run mean at ``rate_rps``."""
+        return (
+            self.rate_rps
+            * (1.0 - self.burst_factor * self.burst_fraction)
+            / (1.0 - self.burst_fraction)
+        )
+
+    @property
+    def burst_rate_rps(self) -> float:
+        """Burst-state arrival rate of the bursty process."""
+        return self.rate_rps * self.burst_factor
+
+    def scene_probabilities(self) -> np.ndarray:
+        """Zipf popularity over :attr:`scenes` (catalogue order = rank)."""
+        weights = np.array(
+            [(rank + 1.0) ** -self.zipf_s for rank in range(len(self.scenes))]
+        )
+        return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """One tenant's deterministic preferences (derived from its id)."""
+
+    client_id: int
+    priority: int
+    #: Probability per trajectory kind, aligned with ``TRAJECTORY_KINDS``.
+    trajectory_weights: tuple[float, ...]
+    #: Probability per frame count, aligned with ``WorkloadSpec.frame_choices``.
+    frame_weights: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: render a trajectory of a scene by a deadline."""
+
+    request_id: int
+    client_id: int
+    #: Priority class (0 = premium, scheduled strictly before higher values).
+    priority: int
+    arrival_ms: float
+    scene: str
+    trajectory_kind: str
+    num_frames: int
+    #: Evaluation azimuth anchoring dolly/jitter paths (0..7).
+    view_index: int
+    #: Seed of the request's jitter perturbation stream (ignored by the
+    #: other trajectory kinds, kept so replaying a request is exact).
+    traj_seed: int
+    #: Relative deadline: the request's SLO on end-to-end latency.
+    slo_ms: float
+
+    @property
+    def deadline_ms(self) -> float:
+        """Absolute deadline on the workload clock."""
+        return self.arrival_ms + self.slo_ms
+
+
+def client_profiles(spec: WorkloadSpec) -> list[ClientProfile]:
+    """The deterministic per-client mixes of ``spec`` (no RNG involved).
+
+    Client ``i`` favours trajectory kind ``TRAJECTORY_KINDS[i % 4]`` with
+    :data:`FAVOURITE_WEIGHT` of the mass and frame count
+    ``frame_choices[i % len]`` with a :data:`FAVOURITE_FRAMES_BOOST` weight
+    multiplier, so a multi-client workload exercises every trajectory and
+    job length without any client being a clone of another.
+    """
+    profiles = []
+    num_kinds = len(TRAJECTORY_KINDS)
+    for client_id in range(spec.num_clients):
+        favourite = client_id % num_kinds
+        other = (1.0 - FAVOURITE_WEIGHT) / (num_kinds - 1)
+        trajectory_weights = tuple(
+            FAVOURITE_WEIGHT if k == favourite else other for k in range(num_kinds)
+        )
+        frame_raw = [
+            FAVOURITE_FRAMES_BOOST if i == client_id % len(spec.frame_choices) else 1.0
+            for i in range(len(spec.frame_choices))
+        ]
+        total = sum(frame_raw)
+        profiles.append(
+            ClientProfile(
+                client_id=client_id,
+                priority=0 if client_id < spec.premium_clients else 1,
+                trajectory_weights=trajectory_weights,
+                frame_weights=tuple(w / total for w in frame_raw),
+            )
+        )
+    return profiles
+
+
+def _arrival_times_ms(spec: WorkloadSpec, rng: np.random.Generator) -> list[float]:
+    """Arrival instants in ``[0, duration_s)`` under the spec's process."""
+    times: list[float] = []
+    horizon = spec.duration_s
+    if spec.arrival == "poisson":
+        t = rng.exponential(1.0 / spec.rate_rps)
+        while t < horizon:
+            times.append(t * 1000.0)
+            t += rng.exponential(1.0 / spec.rate_rps)
+        return times
+
+    # Bursty: 2-state MMPP.  Dwell means are chosen so the stationary
+    # fraction of time in the burst state is ``burst_fraction`` and the
+    # average dwell is ``mean_dwell_s``; within a state arrivals are
+    # Poisson at that state's rate (memorylessness makes resampling the
+    # gap after a state switch exact, not an approximation).
+    dwell_burst = spec.mean_dwell_s * 2.0 * spec.burst_fraction
+    dwell_quiet = spec.mean_dwell_s * 2.0 * (1.0 - spec.burst_fraction)
+    in_burst = False
+    t = 0.0
+    state_end = rng.exponential(dwell_quiet)
+    while t < horizon:
+        rate = spec.burst_rate_rps if in_burst else spec.quiet_rate_rps
+        gap = rng.exponential(1.0 / rate)
+        if t + gap >= state_end:
+            t = state_end
+            in_burst = not in_burst
+            state_end = t + rng.exponential(dwell_burst if in_burst else dwell_quiet)
+            continue
+        t += gap
+        if t < horizon:
+            times.append(t * 1000.0)
+    return times
+
+
+def generate_workload(spec: WorkloadSpec) -> list[Request]:
+    """Expand ``spec`` into its request stream (sorted by arrival time).
+
+    Deterministic: every random draw comes from one
+    ``np.random.default_rng(spec.seed)`` in a fixed order, so two calls with
+    equal specs return equal streams — which is what makes scheduler runs
+    and their decision logs replayable.
+    """
+    rng = np.random.default_rng(spec.seed)
+    profiles = client_profiles(spec)
+    scene_p = spec.scene_probabilities()
+    requests: list[Request] = []
+    for request_id, arrival_ms in enumerate(_arrival_times_ms(spec, rng)):
+        client = profiles[int(rng.integers(spec.num_clients))]
+        scene = spec.scenes[int(rng.choice(len(spec.scenes), p=scene_p))]
+        kind = TRAJECTORY_KINDS[
+            int(rng.choice(len(TRAJECTORY_KINDS), p=client.trajectory_weights))
+        ]
+        num_frames = spec.frame_choices[
+            int(rng.choice(len(spec.frame_choices), p=client.frame_weights))
+        ]
+        requests.append(
+            Request(
+                request_id=request_id,
+                client_id=client.client_id,
+                priority=client.priority,
+                arrival_ms=float(arrival_ms),
+                scene=scene,
+                trajectory_kind=kind,
+                num_frames=int(num_frames),
+                view_index=int(rng.integers(8)),
+                traj_seed=int(rng.integers(2**31 - 1)),
+                slo_ms=spec.slo_ms,
+            )
+        )
+    return requests
+
+
+def offered_load_rps(requests: list[Request], spec: WorkloadSpec) -> float:
+    """Realised offered load of a generated stream (requests per second)."""
+    return len(requests) / spec.duration_s
+
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ClientProfile",
+    "Request",
+    "WorkloadSpec",
+    "client_profiles",
+    "generate_workload",
+    "offered_load_rps",
+]

@@ -27,7 +27,9 @@ Quickstart::
 
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.farm import (
+    FrameCallback,
     FrameRecord,
+    FrameRenderError,
     FrameSpec,
     JobResult,
     RenderFarm,
@@ -42,7 +44,9 @@ from repro.serve.trajectories import (
 
 __all__ = [
     "CacheStats",
+    "FrameCallback",
     "FrameRecord",
+    "FrameRenderError",
     "FrameSpec",
     "JobResult",
     "LRUCache",

@@ -141,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the report as JSON instead of text",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "stream per-frame completion lines to stderr as frames finish "
+            "(completion order on the worker pool)"
+        ),
+    )
     return parser
 
 
@@ -221,7 +229,17 @@ def main(argv: list[str] | None = None) -> int:
         quant=args.quant,
     )
     farm = RenderFarm(num_workers=args.workers, mp_context=args.mp_context)
-    result = farm.run(job)
+    on_frame = None
+    if args.progress:
+
+        def on_frame(record):
+            print(
+                f"  frame {record.index:>4} done in {record.render_ms:8.1f} ms",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    result = farm.run(job, on_frame=on_frame)
     if args.json:
         print(json.dumps(result.summary(), indent=2, sort_keys=True))
     else:

@@ -10,7 +10,9 @@ resident forever.
 
 :class:`LRUCache` keeps the same ``key -> artifact`` contract but bounds the
 number of resident entries, evicting the least-recently-used artifact once
-the bound is exceeded.  Hits refresh recency; overwriting an existing key
+the bound is exceeded.  It is thread-safe (one reentrant lock around every
+operation), so the request scheduler, the runner and the scene store can
+share one cache across threads.  Hits refresh recency; overwriting an existing key
 refreshes recency too.  A ``maxsize`` of ``None`` disables eviction
 entirely, restoring the unbounded seed behaviour for callers that want it;
 the evaluation runner itself uses a 256-entry bound
@@ -20,6 +22,7 @@ six-scene evaluation sweep keeps live.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterator
@@ -66,10 +69,17 @@ class LRUCache:
 
     Notes
     -----
-    The cache is deliberately not thread-safe: the evaluation harness and
-    the render farm's result aggregation both run in a single process and
-    the farm workers hold no cache at all (each worker keeps exactly one
-    scene, shipped explicitly at pool start).
+    The cache is **thread-safe**: every operation (including the stats
+    counters) runs under one internal reentrant lock, so the request
+    scheduler, the evaluation runner and the scene store can share caches
+    across threads.  :meth:`get_or_create` holds the lock *across the
+    factory call*, which serialises builds per cache — each key's factory
+    runs exactly once no matter how many threads race on it, and a factory
+    that recursively fills other keys of the same cache (as the evaluation
+    runner's nested memos do) still works because the lock is reentrant.
+    The price is that one slow factory blocks other threads' lookups on the
+    same cache; for this codebase's caches (scene preparation, memoised
+    renders) exactly-once construction is worth more than lookup overlap.
     """
 
     def __init__(self, maxsize: int | None = 128) -> None:
@@ -77,6 +87,7 @@ class LRUCache:
             raise ValueError("maxsize must be positive or None (unbounded)")
         self._maxsize = maxsize
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -88,49 +99,57 @@ class LRUCache:
         return self._maxsize
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __iter__(self) -> Iterator[Hashable]:
-        """Iterate keys from least- to most-recently used."""
-        return iter(self._entries)
+        """Iterate keys from least- to most-recently used (snapshot)."""
+        return iter(self.keys())
 
     def keys(self) -> list[Hashable]:
-        """All resident keys, least-recently-used first."""
-        return list(self._entries)
+        """All resident keys, least-recently-used first (snapshot)."""
+        with self._lock:
+            return list(self._entries)
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the artifact under ``key`` (refreshing recency) or ``default``."""
-        if key not in self._entries:
-            self.stats.misses += 1
-            return default
-        self.stats.hits += 1
-        self._entries.move_to_end(key)
-        return self._entries[key]
+        with self._lock:
+            if key not in self._entries:
+                self.stats.misses += 1
+                return default
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store ``value`` under ``key``, evicting the LRU entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if self._maxsize is not None and len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if self._maxsize is not None and len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         """Return the cached artifact for ``key``, building it on a miss.
 
-        The factory runs outside the cache bookkeeping, so a factory that
-        recursively fills other keys (as the evaluation runner's nested
-        memos do) observes a consistent cache.
+        The lock is held across the factory call, so each key's factory
+        runs exactly once even under concurrent callers (single-flight);
+        a factory that recursively fills other keys of the same cache (as
+        the evaluation runner's nested memos do) is fine — the lock is
+        reentrant from the building thread.
         """
-        value = self.get(key, default=_MISSING)
-        if value is _MISSING:
-            value = factory()
-            self.put(key, value)
-        return value
+        with self._lock:
+            value = self.get(key, default=_MISSING)
+            if value is _MISSING:
+                value = factory()
+                self.put(key, value)
+            return value
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         """Remove and return the artifact under ``key`` (no stats recorded).
@@ -139,7 +158,8 @@ class LRUCache:
         counters nor the eviction counter move (evictions count *capacity*
         pressure only).
         """
-        return self._entries.pop(key, default)
+        with self._lock:
+            return self._entries.pop(key, default)
 
     def resize(self, maxsize: int | None) -> None:
         """Change the eviction bound, evicting LRU entries if now over it.
@@ -149,11 +169,12 @@ class LRUCache:
         """
         if maxsize is not None and maxsize <= 0:
             raise ValueError("maxsize must be positive or None (unbounded)")
-        self._maxsize = maxsize
-        if maxsize is not None:
-            while len(self._entries) > maxsize:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        with self._lock:
+            self._maxsize = maxsize
+            if maxsize is not None:
+                while len(self._entries) > maxsize:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop every entry.
@@ -163,6 +184,7 @@ class LRUCache:
         ``reset_stats=True`` to zero them as well (the semantics benchmarks
         want between runs).
         """
-        self._entries.clear()
-        if reset_stats:
-            self.stats.reset()
+        with self._lock:
+            self._entries.clear()
+            if reset_stats:
+                self.stats.reset()

@@ -31,6 +31,13 @@ Design points:
 * **Sequential fallback.**  ``num_workers <= 1`` renders in-process with no
   serialisation or pool, which is both the baseline the farm speedup is
   measured against and the portable path for single-CPU environments.
+* **Incremental streaming.**  ``run(job, on_frame=...)`` fires a callback in
+  the parent as each frame completes (the pool path streams results through
+  ``imap_unordered``), so a caller — e.g. the request scheduler in
+  :mod:`repro.sched` — can observe per-frame latency mid-job rather than
+  after the aggregate :class:`JobResult`.  Frame failures surface as
+  :class:`FrameRenderError` (frame index + scene name + worker traceback),
+  never as a raw pool traceback.
 
 :func:`render_frame` is the shared single-frame entry point: the evaluation
 runner's memoised ``run_tilewise``/``run_gaussianwise`` and the farm workers
@@ -44,9 +51,10 @@ import dataclasses
 import os
 import tempfile
 import time
+import traceback
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -190,6 +198,41 @@ class FrameRecord:
     render_ms: float
 
 
+#: Per-frame completion callback: called in the parent process as each
+#: frame finishes (index order on the sequential path, completion order on
+#: the pool path), before the job's aggregate result exists — the hook the
+#: request scheduler uses to observe latency mid-job.
+FrameCallback = Callable[[FrameRecord], None]
+
+
+class FrameRenderError(RuntimeError):
+    """A frame failed to render; carries the frame index and scene name.
+
+    Raised by :meth:`RenderFarm.run` on both scheduling paths instead of
+    letting a raw worker traceback escape the pool, so callers can tell
+    *which* frame of *which* scene died.  ``__cause__`` holds the original
+    exception on the sequential path; pool failures embed the worker-side
+    traceback in the message (the exception object itself may not survive
+    pickling back across the process boundary).
+    """
+
+    def __init__(self, scene: str, frame_index: int, message: str) -> None:
+        super().__init__(
+            f"frame {frame_index} of scene {scene!r} failed to render: {message}"
+        )
+        self.scene = scene
+        self.frame_index = frame_index
+
+
+@dataclass
+class _WorkerFailure:
+    """Pickle-safe record of a worker-side frame failure."""
+
+    index: int
+    error: str
+    traceback: str
+
+
 @dataclass
 class JobResult:
     """Aggregated output of one render-farm job."""
@@ -309,9 +352,20 @@ def _worker_init(scene_path: str, scene_format: str, spec: FrameSpec) -> None:
     _WORKER_STATE["spec"] = spec
 
 
-def _worker_render(task: tuple[int, Camera]) -> FrameRecord:
-    """Render one queued frame against the worker-resident scene."""
-    return _render_one(_WORKER_STATE["scene"], task, _WORKER_STATE["spec"])
+def _worker_render(task: tuple[int, Camera]) -> Union[FrameRecord, _WorkerFailure]:
+    """Render one queued frame against the worker-resident scene.
+
+    Failures come back as a pickle-safe :class:`_WorkerFailure` (frame index
+    plus the worker-side traceback) rather than propagating out of
+    ``imap_unordered`` as a bare remote traceback; the parent re-raises them
+    as :class:`FrameRenderError` with the scene name attached.
+    """
+    try:
+        return _render_one(_WORKER_STATE["scene"], task, _WORKER_STATE["spec"])
+    except Exception as exc:
+        return _WorkerFailure(
+            index=task[0], error=repr(exc), traceback=traceback.format_exc()
+        )
 
 
 class RenderFarm:
@@ -353,7 +407,12 @@ class RenderFarm:
         self.scene_format = scene_format
 
     # ------------------------------------------------------------------
-    def run(self, job: RenderJob, scene: GaussianScene | None = None) -> JobResult:
+    def run(
+        self,
+        job: RenderJob,
+        scene: GaussianScene | None = None,
+        on_frame: Optional[FrameCallback] = None,
+    ) -> JobResult:
         """Render every frame of ``job`` and aggregate the results.
 
         Parameters
@@ -366,6 +425,20 @@ class RenderFarm:
             entry (``preset.store``), otherwise instantiated exactly as
             :mod:`repro.eval.runner` does
             (``make_scene(preset.name, scale=preset.scale)``).
+        on_frame:
+            Optional per-frame completion callback, invoked in the parent
+            process as each frame finishes — in index order on the
+            sequential path, in completion order on the pool path (frames
+            stream back through ``imap_unordered``).  This is how a caller
+            observes latency mid-job instead of waiting for the aggregate
+            :class:`JobResult`; exceptions it raises abort the job.
+
+        Raises
+        ------
+        FrameRenderError
+            When any frame fails to render, identifying the failing frame
+            index and scene name (with the worker-side traceback for pool
+            failures) instead of a raw pool traceback.
 
         The job's quality tier is applied to the base scene before any frame
         renders: LOD level ``job.lod`` prunes by importance, then tier
@@ -412,10 +485,20 @@ class RenderFarm:
             # path ships the encoded payload instead and lets each worker
             # decode it once (the same deterministic decode, so both paths
             # render identical bits).
-            frames = [_render_one(render_scene, task, spec) for task in tasks]
+            frames = []
+            for task in tasks:
+                try:
+                    record = _render_one(render_scene, task, spec)
+                except Exception as exc:
+                    raise FrameRenderError(job.scene, task[0], repr(exc)) from exc
+                if on_frame is not None:
+                    on_frame(record)
+                frames.append(record)
             effective_workers = 0
         else:
-            frames, ship_bytes = self._run_pool(lod_scene, tasks, spec, tier)
+            frames, ship_bytes = self._run_pool(
+                lod_scene, tasks, spec, tier, job.scene, on_frame
+            )
             effective_workers = min(self.num_workers, len(tasks))
         wall = time.perf_counter() - start
 
@@ -436,11 +519,15 @@ class RenderFarm:
         tasks: list[tuple[int, Camera]],
         spec: FrameSpec,
         tier,
+        scene_name: str,
+        on_frame: Optional[FrameCallback] = None,
     ) -> tuple[list[FrameRecord], int]:
         """Ship ``scene`` (encoded when the tier is lossy) and map the tasks.
 
-        Returns the frame records plus the on-disk byte size of the shipped
-        scene payload.
+        Frames stream back in completion order (``imap_unordered``), firing
+        ``on_frame`` as they land; a worker failure aborts the job with a
+        :class:`FrameRenderError`.  Returns the frame records plus the
+        on-disk byte size of the shipped scene payload.
         """
         import multiprocessing
 
@@ -457,12 +544,24 @@ class RenderFarm:
             scene_path = Path(tmp) / f"scene{suffix}"
             saver(scene, scene_path)
             ship_bytes = scene_path.stat().st_size
+            frames: list[FrameRecord] = []
             with context.Pool(
                 processes=workers,
                 initializer=_worker_init,
                 initargs=(str(scene_path), ship_format, spec),
             ) as pool:
-                return pool.map(_worker_render, tasks, chunksize=1), ship_bytes
+                for record in pool.imap_unordered(_worker_render, tasks, chunksize=1):
+                    if isinstance(record, _WorkerFailure):
+                        raise FrameRenderError(
+                            scene_name,
+                            record.index,
+                            f"{record.error}\n--- worker traceback ---\n"
+                            f"{record.traceback}",
+                        )
+                    if on_frame is not None:
+                        on_frame(record)
+                    frames.append(record)
+            return frames, ship_bytes
 
 
 def _render_one(

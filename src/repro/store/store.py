@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import zipfile
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -140,6 +140,22 @@ class SceneStore:
             return roundtrip_scene(select_lod(base, lod, self.lod_ratio), spec)
 
         return self._cache.get_or_create(cache_key, build)
+
+    def warm(
+        self, name: str, tiers: "Iterable[tuple[int, str]]"
+    ) -> dict[tuple[int, str], int]:
+        """Pre-build and cache ``name`` at each ``(lod, quant)`` tier.
+
+        A serving process that knows its quality ladder (e.g. the
+        :mod:`repro.sched` scheduler's) can pay every tier's preparation
+        cost up front instead of on the first request that lands on it —
+        the difference between a predictable start-up and a latency spike
+        mid-traffic.  Returns the Gaussian count per warmed tier.
+        """
+        return {
+            (lod, quant): self.get(name, lod=lod, quant=quant).num_gaussians
+            for lod, quant in tiers
+        }
 
     def invalidate(self, name: str) -> None:
         """Drop every cached tier of ``name`` (factory stays registered)."""

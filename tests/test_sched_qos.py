@@ -1,0 +1,151 @@
+"""SLO controller: ladder walking, hysteresis, shedding, event logging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched.qos import (
+    DEFAULT_LADDER,
+    EventLog,
+    QoSPolicy,
+    SLOController,
+    tier_name,
+)
+
+SLO = 100.0
+
+
+def fast_policy(**overrides) -> QoSPolicy:
+    """A controller that reacts after a handful of completions."""
+    defaults = dict(window=4, min_samples=2, cooldown=2)
+    defaults.update(overrides)
+    return QoSPolicy(**defaults)
+
+
+def feed(controller: SLOController, latencies, slo_ms=SLO, t0=0.0):
+    for i, e2e in enumerate(latencies):
+        controller.observe(t0 + float(i), float(e2e), slo_ms)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window=0),
+            dict(min_samples=0),
+            dict(window=4, min_samples=5),
+            dict(cooldown=-1),
+            dict(degrade_at=0.0),
+            dict(upgrade_at=1.0, degrade_at=1.0),
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QoSPolicy(**kwargs)
+
+    def test_ladder_must_be_valid(self):
+        with pytest.raises(ValueError):
+            SLOController(ladder=())
+        with pytest.raises(ValueError):
+            SLOController(ladder=((0, "mp3"),))
+        with pytest.raises(ValueError):
+            SLOController(ladder=((-1, "lossless"),))
+
+
+class TestLadderWalk:
+    def test_starts_at_most_expensive_rung(self):
+        controller = SLOController()
+        assert controller.current_tier == DEFAULT_LADDER[0]
+        assert controller.cheapest_tier == DEFAULT_LADDER[-1]
+
+    def test_degrades_under_sustained_violation(self):
+        controller = SLOController(policy=fast_policy())
+        feed(controller, [SLO * 3] * 4)
+        assert controller.rung > 0
+        events = [e["event"] for e in controller.log.events]
+        assert "tier_down" in events
+
+    def test_upgrades_when_load_relents(self):
+        controller = SLOController(policy=fast_policy())
+        feed(controller, [SLO * 3] * 4)
+        degraded = controller.rung
+        feed(controller, [SLO * 0.1] * 8, t0=100.0)
+        assert controller.rung < degraded
+        assert any(e["event"] == "tier_up" for e in controller.log.events)
+
+    def test_never_walks_off_either_end(self):
+        controller = SLOController(policy=fast_policy())
+        feed(controller, [SLO * 10] * 100)
+        assert controller.rung == len(controller.ladder) - 1
+        feed(controller, [SLO * 0.01] * 100, t0=1000.0)
+        assert controller.rung == 0
+
+    def test_healthy_latency_inside_hysteresis_band_holds_tier(self):
+        # Between upgrade_at and degrade_at nothing should move.
+        controller = SLOController(policy=fast_policy())
+        feed(controller, [SLO * 0.75] * 50)
+        assert controller.rung == 0
+        assert len(controller.log) == 0
+
+    def test_cooldown_limits_move_frequency(self):
+        controller = SLOController(policy=fast_policy(cooldown=4))
+        feed(controller, [SLO * 5] * 7)
+        # 7 completions with cooldown 4 allow at most one move.
+        moves = [e for e in controller.log.events if e["event"] == "tier_down"]
+        assert len(moves) == 1
+
+    def test_window_cleared_on_move(self):
+        controller = SLOController(policy=fast_policy())
+        feed(controller, [SLO * 5] * 4)
+        assert controller.window_p95_ms() is None  # below min_samples again
+
+    def test_fixed_policy_never_moves(self):
+        controller = SLOController(policy=fast_policy(adaptive=False))
+        feed(controller, [SLO * 50] * 50)
+        assert controller.rung == 0
+        assert len(controller.log) == 0
+
+    def test_single_rung_ladder_never_moves(self):
+        controller = SLOController(
+            policy=fast_policy(), ladder=((0, "lossless"),)
+        )
+        feed(controller, [SLO * 50] * 50)
+        assert controller.current_tier == (0, "lossless")
+        assert len(controller.log) == 0
+
+
+class TestShedding:
+    def test_sheds_when_cheapest_projection_misses(self):
+        controller = SLOController()
+        assert controller.should_shed(SLO + 1, SLO)
+        assert not controller.should_shed(SLO - 1, SLO)
+
+
+class TestEventLog:
+    def test_entries_carry_timestamp_and_kind(self):
+        log = EventLog()
+        entry = log.emit(12.3456789, "admit", request=1)
+        assert entry == {"t_ms": 12.345679, "event": "admit", "request": 1}
+        assert log.events == [entry]
+        assert len(log) == 1
+
+    def test_counts_by_kind(self):
+        log = EventLog()
+        log.emit(0.0, "admit")
+        log.emit(1.0, "admit")
+        log.emit(2.0, "shed")
+        assert log.counts() == {"admit": 2, "shed": 1}
+
+    def test_tier_move_entries_are_structured(self):
+        controller = SLOController(policy=fast_policy())
+        feed(controller, [SLO * 3] * 4)
+        move = next(e for e in controller.log.events if e["event"] == "tier_down")
+        assert move["from_tier"] == tier_name(DEFAULT_LADDER[0])
+        assert move["to_tier"] == tier_name(DEFAULT_LADDER[1])
+        assert move["p95_ms"] > SLO
+        assert move["slo_ms"] == SLO
+
+
+class TestTierName:
+    def test_format(self):
+        assert tier_name((2, "compact")) == "lod2/compact"

@@ -1,0 +1,167 @@
+"""Synthetic traffic generation: determinism, arrival processes, mixes."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.sched.workload import (
+    ARRIVAL_KINDS,
+    WorkloadSpec,
+    client_profiles,
+    generate_workload,
+)
+from repro.serve.trajectories import TRAJECTORY_KINDS
+
+
+class TestSpecValidation:
+    def test_defaults_are_valid(self):
+        WorkloadSpec()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("arrival", "diurnal"),
+            ("rate_rps", 0.0),
+            ("duration_s", -1.0),
+            ("num_clients", 0),
+            ("scenes", ()),
+            ("zipf_s", -0.5),
+            ("frame_choices", (4, 0)),
+            ("slo_ms", 0.0),
+            ("premium_clients", 99),
+            ("burst_factor", 1.0),
+            ("burst_fraction", 1.5),
+            ("mean_dwell_s", 0.0),
+        ],
+    )
+    def test_invalid_field_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            dataclasses.replace(WorkloadSpec(), **{field: value})
+
+    def test_burst_mean_rate_must_be_achievable(self):
+        # factor * fraction >= 1 would need a negative quiet rate.
+        with pytest.raises(ValueError, match="quiet-state rate"):
+            WorkloadSpec(arrival="bursty", burst_factor=5.0, burst_fraction=0.25)
+
+    def test_quiet_rate_keeps_long_run_mean(self):
+        spec = WorkloadSpec(arrival="bursty", rate_rps=8.0)
+        mean = (
+            spec.burst_fraction * spec.burst_rate_rps
+            + (1 - spec.burst_fraction) * spec.quiet_rate_rps
+        )
+        assert mean == pytest.approx(spec.rate_rps)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        spec = WorkloadSpec(rate_rps=10.0, duration_s=10.0, seed=7)
+        assert generate_workload(spec) == generate_workload(spec)
+
+    def test_same_seed_same_bursty_stream(self):
+        spec = WorkloadSpec(arrival="bursty", rate_rps=10.0, duration_s=10.0, seed=7)
+        assert generate_workload(spec) == generate_workload(spec)
+
+    def test_different_seeds_differ(self):
+        base = WorkloadSpec(rate_rps=10.0, duration_s=10.0, seed=0)
+        other = dataclasses.replace(base, seed=1)
+        assert generate_workload(base) != generate_workload(other)
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize("arrival", ARRIVAL_KINDS)
+    def test_arrivals_sorted_within_window(self, arrival):
+        spec = WorkloadSpec(arrival=arrival, rate_rps=20.0, duration_s=10.0, seed=3)
+        requests = generate_workload(spec)
+        times = [r.arrival_ms for r in requests]
+        assert times == sorted(times)
+        assert all(0 <= t < spec.duration_s * 1000.0 for t in times)
+
+    @pytest.mark.parametrize("arrival", ARRIVAL_KINDS)
+    def test_mean_rate_close_to_offered(self, arrival):
+        # Long window so the realised rate concentrates around the mean
+        # (the MMPP's count variance is much larger than Poisson's, hence
+        # the long horizon rather than a loose tolerance).
+        spec = WorkloadSpec(arrival=arrival, rate_rps=10.0, duration_s=2000.0, seed=5)
+        requests = generate_workload(spec)
+        realised = len(requests) / spec.duration_s
+        assert realised == pytest.approx(spec.rate_rps, rel=0.1)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        # Index of dispersion of per-second arrival counts: 1 for Poisson,
+        # substantially above 1 for the 2-state MMPP at the same mean rate.
+        def dispersion(arrival: str) -> float:
+            spec = WorkloadSpec(
+                arrival=arrival, rate_rps=10.0, duration_s=300.0, seed=11
+            )
+            times_s = np.array([r.arrival_ms for r in generate_workload(spec)]) / 1000
+            counts = np.bincount(
+                times_s.astype(int), minlength=int(spec.duration_s)
+            )
+            return counts.var() / counts.mean()
+
+        assert dispersion("bursty") > 1.5 * dispersion("poisson")
+
+    def test_request_ids_are_sequential(self):
+        requests = generate_workload(WorkloadSpec(duration_s=5.0))
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+
+
+class TestMixes:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        spec = WorkloadSpec(rate_rps=20.0, duration_s=100.0, num_clients=6, seed=2)
+        return spec, generate_workload(spec)
+
+    def test_fields_within_domains(self, stream):
+        spec, requests = stream
+        for r in requests:
+            assert r.scene in spec.scenes
+            assert r.trajectory_kind in TRAJECTORY_KINDS
+            assert r.num_frames in spec.frame_choices
+            assert 0 <= r.client_id < spec.num_clients
+            assert 0 <= r.view_index < 8
+            assert r.slo_ms == spec.slo_ms
+            assert r.deadline_ms == r.arrival_ms + r.slo_ms
+
+    def test_zipf_rank1_scene_is_most_popular(self, stream):
+        spec, requests = stream
+        counts = {scene: 0 for scene in spec.scenes}
+        for r in requests:
+            counts[r.scene] += 1
+        assert counts[spec.scenes[0]] == max(counts.values())
+        # And the skew is real: rank 1 clearly beats the last rank.
+        assert counts[spec.scenes[0]] > 1.5 * counts[spec.scenes[-1]]
+
+    def test_clients_favour_their_own_trajectory(self, stream):
+        spec, requests = stream
+        for client_id in range(min(4, spec.num_clients)):
+            favourite = TRAJECTORY_KINDS[client_id % len(TRAJECTORY_KINDS)]
+            mine = [r for r in requests if r.client_id == client_id]
+            favoured = sum(1 for r in mine if r.trajectory_kind == favourite)
+            assert favoured > len(mine) / len(TRAJECTORY_KINDS)
+
+    def test_priority_classes_follow_premium_count(self, stream):
+        spec, requests = stream
+        for r in requests:
+            expected = 0 if r.client_id < spec.premium_clients else 1
+            assert r.priority == expected
+
+
+class TestClientProfiles:
+    def test_profiles_are_deterministic_and_normalised(self):
+        spec = WorkloadSpec(num_clients=5)
+        profiles = client_profiles(spec)
+        assert profiles == client_profiles(spec)
+        for profile in profiles:
+            assert sum(profile.trajectory_weights) == pytest.approx(1.0)
+            assert sum(profile.frame_weights) == pytest.approx(1.0)
+
+    def test_every_trajectory_kind_is_someones_favourite(self):
+        profiles = client_profiles(WorkloadSpec(num_clients=4))
+        favourites = {
+            TRAJECTORY_KINDS[int(np.argmax(p.trajectory_weights))] for p in profiles
+        }
+        assert favourites == set(TRAJECTORY_KINDS)

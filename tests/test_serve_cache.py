@@ -246,3 +246,75 @@ class TestRunnerCacheConfiguration:
         assert cache().stats.requests >= 1
         clear_cache(reset_stats=True)
         assert cache().stats.requests == 0
+
+
+class TestThreadSafety:
+    """The cache serialises all operations behind one reentrant lock."""
+
+    def test_get_or_create_is_single_flight(self):
+        import threading
+
+        cache = LRUCache(maxsize=None)
+        built: list[int] = []  # appended under the cache lock
+        barrier = threading.Barrier(8)
+        keys = list(range(24))
+
+        def hammer():
+            barrier.wait()
+            for key in keys:
+                cache.get_or_create(key, lambda key=key: built.append(key) or key)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Every key was built exactly once no matter how many threads raced.
+        assert sorted(built) == keys
+        assert cache.stats.misses == len(keys)
+        assert cache.stats.hits == 8 * len(keys) - len(keys)
+        assert all(cache.get(key) == key for key in keys)
+
+    def test_recursive_factory_does_not_deadlock(self):
+        cache = LRUCache(maxsize=None)
+
+        def build_outer():
+            return cache.get_or_create("inner", lambda: 1) + 1
+
+        assert cache.get_or_create("outer", build_outer) == 2
+        assert cache.get("inner") == 1
+
+    def test_concurrent_mixed_operations_preserve_invariants(self):
+        import threading
+
+        cache = LRUCache(maxsize=32)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(6)
+
+        def churn(worker: int):
+            try:
+                barrier.wait()
+                for i in range(300):
+                    key = (worker * 300 + i) % 96
+                    cache.put(key, i)
+                    cache.get(key)
+                    if i % 7 == 0:
+                        cache.pop(key)
+                    if i % 50 == 0:
+                        cache.resize(16 if i % 100 == 0 else 32)
+                    if i % 97 == 0:
+                        cache.keys()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(w,)) for w in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        assert len(cache) <= 32
+        stats = cache.stats
+        assert stats.requests == stats.hits + stats.misses == 6 * 300

@@ -241,3 +241,25 @@ class TestFileBackedPresets:
         loaded, camera = load_scene_and_camera(EvalSetup(name))
         assert np.array_equal(loaded.means, scene.means)
         assert camera.width > 0
+
+
+class TestWarm:
+    def test_warm_prepopulates_every_tier(self, store):
+        sizes = store.warm("smoke", [(0, "lossless"), (1, "fp16"), (2, "compact")])
+        assert set(sizes) == {(0, "lossless"), (1, "fp16"), (2, "compact")}
+        assert ("smoke", 0, "lossless") in store.cache
+        assert ("smoke", 1, "fp16") in store.cache
+        assert ("smoke", 2, "compact") in store.cache
+        # Sizes follow the LOD ladder (level k halves the keep count).
+        assert sizes[(1, "fp16")] < sizes[(0, "lossless")]
+        assert sizes[(2, "compact")] < sizes[(1, "fp16")]
+
+    def test_warmed_tiers_are_cache_hits_afterwards(self, store):
+        store.warm("smoke", [(1, "compact")])
+        hits_before = store.cache.stats.hits
+        store.get("smoke", lod=1, quant="compact")
+        assert store.cache.stats.hits == hits_before + 1
+
+    def test_warm_unknown_scene_raises(self, store):
+        with pytest.raises(KeyError, match="unknown store scene"):
+            store.warm("nope", [(0, "lossless")])
