@@ -1,0 +1,165 @@
+"""Executor residency — persistent warm pool vs the cold per-job-pool path.
+
+Not a paper figure: this benchmark guards the execution subsystem's two
+contracts on repeated jobs over one :class:`repro.exec.RenderExecutor`:
+
+1. *Residency* — a ``(scene, lod, quant)`` tier is shipped (encoded by the
+   parent, decoded by a worker) **at most once per worker**: the payload
+   is published exactly once per tier, worker cache misses are bounded by
+   ``workers x tiers``, and per-job ``ship_bytes`` drops to zero after the
+   first touch — the cumulative shipped bytes *plateau* across repeats.
+2. *Throughput* — steady-state (warm) repeats on the persistent pool run
+   at least 2x faster than the cold path that builds a fresh per-job pool
+   every time (the seed farm's behaviour, still exercised through the
+   standalone ``RenderFarm``), because the warm path pays neither pool
+   spin-up nor scene encode/ship/decode.  Pool parallelism needs real
+   hardware, so the 2x assertion requires >= 2 usable CPUs; on single-CPU
+   machines the residency checks still run and the speedup is reported
+   without being enforced.
+
+Also re-checks fidelity: the warm pool's frames stay bitwise identical to
+the sequential path (the cheap half of the exec-smoke CI check).
+
+Run with::
+
+    pytest benchmarks/bench_exec_residency.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.exec import RenderExecutor
+from repro.exec.frames import usable_cpu_count
+from repro.serve.farm import RenderFarm
+from repro.serve.trajectories import RenderJob, make_trajectory
+
+SCENE = "train"
+#: Short jobs on the quick preset, deliberately: the executor's win is the
+#: *fixed* per-job cost (pool spin-up, payload encode, worker decode) that
+#: the cold path pays on every job — short jobs are the regime where that
+#: overhead dominates, i.e. exactly the multi-tenant request mix of the
+#: PR-4 scheduler.  Long render-bound jobs amortise the overhead on both
+#: paths and converge to 1x by construction.
+NUM_FRAMES = 2
+NUM_WORKERS = 2
+NUM_REPEATS = 5
+#: Quality tiers cycled through the pool (exercises multi-tier residency).
+TIERS = ((0, "lossless"), (1, "compact"))
+MIN_WARM_SPEEDUP = 2.0
+
+
+def _jobs() -> list[RenderJob]:
+    return [
+        RenderJob(
+            SCENE,
+            make_trajectory("orbit", num_frames=NUM_FRAMES),
+            quick=True,
+            lod=lod,
+            quant=quant,
+        )
+        for lod, quant in TIERS
+    ]
+
+
+def measure_exec_residency() -> dict:
+    jobs = _jobs()
+
+    # Cold path: the standalone farm builds a fresh pool per job — pool
+    # spin-up + payload encode + worker decode on every single job.
+    cold_farm = RenderFarm(num_workers=NUM_WORKERS)
+    cold_walls = [cold_farm.run(job).wall_seconds for job in jobs]
+
+    # Warm path: one persistent executor serves every repeat.
+    ship_by_iteration: list[int] = []
+    warm_walls: list[float] = []
+    with RenderExecutor(num_workers=NUM_WORKERS) as executor:
+        iterations: list[list] = []
+        for repeat in range(NUM_REPEATS):
+            results = [executor.submit(job).result() for job in jobs]
+            iterations.append(results)
+            ship_by_iteration.append(sum(r.ship_bytes for r in results))
+            if repeat > 0:  # steady state: first iteration pays the cold costs
+                warm_walls.extend(r.wall_seconds for r in results)
+        stats = executor.stats.as_dict()
+
+    # Fidelity: warm frames are bitwise identical to the sequential path.
+    mismatches: list[str] = []
+    for job, result in zip(jobs, iterations[-1]):
+        sequential = RenderFarm(num_workers=0).run(job)
+        for seq, warm in zip(sequential.frames, result.frames):
+            if not np.array_equal(seq.image, warm.image):
+                mismatches.append(f"{job.quant}:frame{warm.index}")
+        if sequential.aggregate_counters() != result.aggregate_counters():
+            mismatches.append(f"{job.quant}:counters")
+
+    cold_s = sum(cold_walls)
+    warm_s = sum(warm_walls) / (NUM_REPEATS - 1)  # per-iteration steady state
+    return {
+        "scene": SCENE,
+        "num_frames": NUM_FRAMES,
+        "num_workers": NUM_WORKERS,
+        "num_repeats": NUM_REPEATS,
+        "tiers": [f"lod{lod}/{quant}" for lod, quant in TIERS],
+        "usable_cpus": usable_cpu_count(),
+        "cold_per_job_pool_s": cold_s,
+        "warm_pool_iteration_s": warm_s,
+        "warm_over_cold_speedup": cold_s / warm_s if warm_s > 0 else 0.0,
+        "cold_fps": NUM_FRAMES * len(TIERS) / cold_s,
+        "warm_fps": NUM_FRAMES * len(TIERS) / warm_s,
+        "ship_bytes_by_iteration": ship_by_iteration,
+        "published_payloads": stats["published_payloads"],
+        "cache_misses": stats["cache_misses"],
+        "cache_hits": stats["cache_hits"],
+        "loaded_bytes": stats["loaded_bytes"],
+        "workers_replaced": stats["workers_replaced"],
+        "frame_mismatches": mismatches,
+    }
+
+
+def _format_report(result: dict) -> str:
+    lines = [
+        "Executor residency: persistent warm pool vs cold per-job pools",
+        f"scene={result['scene']} frames={result['num_frames']} "
+        f"workers={result['num_workers']} tiers={','.join(result['tiers'])} "
+        f"repeats={result['num_repeats']} cpus={result['usable_cpus']}",
+        "",
+        f"{'path':<22}{'s/iteration':>12}{'frames/s':>10}",
+        f"{'cold per-job pools':<22}{result['cold_per_job_pool_s']:>11.2f}s"
+        f"{result['cold_fps']:>10.2f}",
+        f"{'warm persistent pool':<22}{result['warm_pool_iteration_s']:>11.2f}s"
+        f"{result['warm_fps']:>10.2f}",
+        "",
+        f"warm-over-cold speedup: {result['warm_over_cold_speedup']:.2f}x",
+        f"ship bytes by iteration: {result['ship_bytes_by_iteration']} (plateau)",
+        f"published payloads: {result['published_payloads']} "
+        f"(one per tier)   worker cache: {result['cache_hits']} hits / "
+        f"{result['cache_misses']} misses",
+        f"bitwise identical to sequential: {not result['frame_mismatches']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_exec_residency_and_warm_throughput(benchmark, save_report, save_json):
+    result = run_once(benchmark, measure_exec_residency)
+    save_report("exec_residency", _format_report(result))
+    save_json("exec_residency", result)
+
+    # Fidelity: the warm pool renders the sequential path's exact bits.
+    assert result["frame_mismatches"] == []
+
+    # Residency: each tier is published once and decoded at most once per
+    # worker; nothing ships after the first touch of a tier.
+    assert result["published_payloads"] == len(TIERS)
+    assert result["cache_misses"] <= NUM_WORKERS * len(TIERS)
+    assert result["ship_bytes_by_iteration"][0] > 0
+    assert all(b == 0 for b in result["ship_bytes_by_iteration"][1:])
+    assert result["workers_replaced"] == 0
+
+    # Throughput: requires real hardware parallelism for the cold pool to
+    # be a fair baseline; report-only on single-CPU machines.
+    if result["usable_cpus"] >= 2:
+        assert result["warm_over_cold_speedup"] >= MIN_WARM_SPEEDUP, result[
+            "warm_over_cold_speedup"
+        ]

@@ -7,9 +7,9 @@ with respect to their arguments; the memo store is a bounded
 :class:`repro.serve.cache.LRUCache` (so a long-lived process cannot grow it
 without limit) and can be cleared with :func:`clear_cache`.
 
-Single-frame rendering is delegated to :func:`repro.serve.farm.render_frame`
-— the same primitive the render-farm workers execute — so a frame produced
-here is bitwise identical to the farm's output for the same camera.
+Single-frame rendering is delegated to :func:`repro.exec.frames.render_frame`
+— the same primitive the render-farm and executor workers run — so a frame
+produced here is bitwise identical to the farm's output for the same camera.
 """
 
 from __future__ import annotations
@@ -25,8 +25,8 @@ from repro.gaussians.model import GaussianScene
 from repro.gaussians.synthetic import make_camera, make_scene
 from repro.render.gaussian_raster import GaussianWiseResult
 from repro.render.tile_raster import TileWiseResult
+from repro.exec.frames import FrameSpec, render_frame
 from repro.serve.cache import LRUCache
-from repro.serve.farm import FrameSpec, render_frame
 
 #: Default bound on resident memoised artefacts.  A full six-scene
 #: evaluation sweep keeps well under this; the bound exists so a

@@ -1,0 +1,692 @@
+"""Persistent render executor: long-lived workers, concurrent job dispatch.
+
+The seed farm built a fresh ``multiprocessing.Pool`` per job and re-shipped
+the scene through the pool initialiser every time, so a serving process
+paid pool spin-up, scene encoding and worker-side decoding on *every* job,
+and two requests could never overlap on the data plane.
+:class:`RenderExecutor` extracts the execution layer out from under the
+farm:
+
+* **Long-lived workers.**  ``num_workers`` processes are spawned once
+  (lazily, on the first pooled submit) and reused by every subsequent job;
+  each holds a bounded resident scene cache (see :mod:`repro.exec.worker`),
+  so a ``(scene, lod, quant)`` tier is shipped encoded and decoded *at most
+  once per worker* while resident.
+* **Concurrent job dispatch.**  :meth:`submit` returns a
+  :class:`JobHandle` immediately; frames from every in-flight job sit in
+  one FIFO and dispatch onto free worker slots as they open, so two jobs'
+  frames interleave across the pool instead of serialising job-by-job.
+  Per-frame streaming (``on_frame``) is preserved on both paths.
+* **Crash containment.**  A worker that raises surfaces the frame as a
+  :class:`~repro.exec.frames.FrameRenderError` (index + scene + worker
+  traceback) and keeps serving; a worker that *dies* (OOM kill, segfault)
+  is detected by liveness, its in-flight frame fails the owning job the
+  same way, and a replacement worker is spawned so the executor keeps its
+  capacity.  Other jobs are never affected.
+* **Accounting.**  Worker cache hits/misses and shipped/loaded bytes are
+  aggregated to the parent, per job (:class:`~repro.exec.frames.JobResult`)
+  and executor-wide (:class:`ExecutorStats`) — the numbers behind the
+  warm/cold reporting in the ``repro-serve``/``repro-sched`` CLIs and the
+  ``bench_exec_residency`` guard.
+
+Determinism: rendering is a pure function of (scene, camera, spec), the
+encoded payload decodes deterministically, and frames are re-sorted by
+index in the aggregate — so executor output (images *and* statistics
+counters) is bitwise identical to the sequential path at every tier, with
+any number of concurrent jobs.  ``num_workers <= 1`` selects an in-process
+sequential mode with no processes or threads at all, which keeps a parent
+LRU of decoded tiers so warm/cold accounting works there too.
+"""
+
+from __future__ import annotations
+
+import itertools
+import tempfile
+import threading
+import time
+from collections import OrderedDict, deque
+from pathlib import Path
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exec.frames import (
+    FrameCallback,
+    FrameRecord,
+    FrameRenderError,
+    FrameSpec,
+    JobResult,
+    _render_one,
+    usable_cpu_count,
+)
+from repro.exec.payload import (
+    SCENE_FORMATS,
+    SceneRef,
+    publish_payload,
+    resolve_lod_scene,
+    resolve_render_scene,
+    scene_key,
+)
+from repro.exec.worker import DEFAULT_WORKER_CACHE_SIZE, worker_main
+from repro.gaussians.model import GaussianScene
+from repro.store.codec import quant_spec
+
+# Layering invariant: this package sits *below* repro.serve (the farm is a
+# facade over the executor), so nothing under repro.exec may import
+# repro.serve — importing repro.exec first would then re-enter the
+# half-initialised package chain.  The resident cache below is therefore a
+# local OrderedDict LRU rather than repro.serve.cache.LRUCache.
+
+#: Decoded scene tiers the sequential path keeps resident in the parent.
+DEFAULT_RESIDENT_CACHE_SIZE = 16
+
+#: Dispatcher poll interval (seconds): bounds result latency and the
+#: worker-liveness detection delay without busy-spinning.
+_POLL_S = 0.02
+
+
+@dataclass
+class ExecutorStats:
+    """Executor-wide accounting, aggregated in the parent."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    frames_rendered: int = 0
+    #: Worker resident-cache events (sequential mode counts its parent LRU).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Encoded payloads written by the parent (once per distinct tier).
+    published_payloads: int = 0
+    published_bytes: int = 0
+    #: Bytes workers read+decoded on cache misses ("shipped" per worker).
+    loaded_bytes: int = 0
+    workers_replaced: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "frames_rendered": self.frames_rendered,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "published_payloads": self.published_payloads,
+            "published_bytes": self.published_bytes,
+            "loaded_bytes": self.loaded_bytes,
+            "workers_replaced": self.workers_replaced,
+        }
+
+
+class JobHandle:
+    """Futures-style handle of one submitted job.
+
+    Frames accumulate as workers complete them; :meth:`result` blocks until
+    the job finishes and returns the aggregate
+    :class:`~repro.exec.frames.JobResult` (frames sorted by index), or
+    re-raises the job's failure — a
+    :class:`~repro.exec.frames.FrameRenderError` for frame/worker failures,
+    or the original exception when an ``on_frame`` callback raised.
+    """
+
+    def __init__(
+        self,
+        job,
+        spec: FrameSpec,
+        num_frames: int,
+        num_workers: int,
+        on_frame: Optional[FrameCallback],
+    ) -> None:
+        self.job = job
+        self.spec = spec
+        self.num_frames = num_frames
+        self.num_workers = num_workers
+        self.num_gaussians = 0
+        self.ship_bytes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.loaded_bytes = 0
+        #: Payload of a caller-supplied scene (unique per submission);
+        #: deleted by the executor when the job finishes so long-lived
+        #: executors do not accumulate one file per custom-scene submit.
+        self._custom_ref = None
+        self._on_frame = on_frame
+        self._frames: list[FrameRecord] = []
+        self._error: BaseException | None = None
+        self._finished = threading.Event()
+        self._start = time.perf_counter()
+        self._wall = 0.0
+        self._result: JobResult | None = None
+
+    # -- parent/dispatcher side -----------------------------------------
+    def _add_frame(self, record: FrameRecord) -> None:
+        """Deliver one finished frame: stream it, then accumulate it."""
+        if self._on_frame is not None:
+            self._on_frame(record)
+        self._frames.append(record)
+        if len(self._frames) >= self.num_frames:
+            self._finish()
+
+    def _finish(self) -> None:
+        self._wall = time.perf_counter() - self._start
+        self._finished.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if self._finished.is_set():
+            return
+        self._error = error
+        self._finish()
+
+    # -- caller side ----------------------------------------------------
+    def done(self) -> bool:
+        """True once the job completed or failed."""
+        return self._finished.is_set()
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block until the job finishes; return (or raise) its outcome."""
+        if not self._finished.wait(timeout):
+            raise TimeoutError(
+                f"job on scene {self.job.scene!r} did not finish within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        if self._result is None:
+            self._frames.sort(key=lambda record: record.index)
+            self._result = JobResult(
+                job=self.job,
+                spec=self.spec,
+                frames=self._frames,
+                num_workers=self.num_workers,
+                wall_seconds=self._wall,
+                num_gaussians=self.num_gaussians,
+                ship_bytes=self.ship_bytes,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                loaded_bytes=self.loaded_bytes,
+            )
+        return self._result
+
+
+@dataclass
+class _FrameTask:
+    """One pending frame: which job, which camera, which payload."""
+
+    job_id: int
+    index: int
+    camera: object
+    spec: FrameSpec
+    ref: SceneRef
+
+
+@dataclass
+class _WorkerSlot:
+    """Parent-side view of one worker process.
+
+    ``conn`` is the parent end of the worker's duplex pipe: tasks go down
+    it, results come back up it, and a hard worker death surfaces as EOF
+    on it (after any results the worker finished sending — kernel socket
+    buffers survive the writer, so a crash never loses or reorders
+    completed frames).
+    """
+
+    worker_id: int
+    process: object
+    conn: object
+    inflight: _FrameTask | None = field(default=None)
+
+
+class RenderExecutor:
+    """A persistent, frame-concurrent render service.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes to keep alive.  ``0`` or ``1`` selects the
+        in-process sequential mode (no processes, no threads); ``None``
+        uses the number of CPUs actually usable by this process.
+    mp_context:
+        ``multiprocessing`` start-method name (``"fork"``, ``"spawn"``,
+        ``"forkserver"``) or ``None`` for the platform default.  Spawned
+        workers re-import :mod:`repro`, so the package must be importable
+        when using ``"spawn"``.
+    scene_format:
+        Serialisation of *lossless* scene payloads: ``"npz"`` (default,
+        bit-exact) or ``"text"`` (9-significant-digit debug format).
+        Quantized tiers always ship the compressed store container.
+    worker_cache_size:
+        Scene tiers each worker keeps decoded (LRU).
+    resident_cache_size:
+        Decoded tiers the sequential mode keeps in the parent (LRU).
+
+    The executor is a context manager; :meth:`shutdown` stops the workers
+    and deletes the published payloads.  ``submit`` is thread-safe.
+    """
+
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        mp_context: str | None = None,
+        scene_format: str = "npz",
+        worker_cache_size: int = DEFAULT_WORKER_CACHE_SIZE,
+        resident_cache_size: int = DEFAULT_RESIDENT_CACHE_SIZE,
+    ) -> None:
+        if num_workers is None:
+            num_workers = usable_cpu_count()
+        if num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if scene_format not in SCENE_FORMATS:
+            raise ValueError(f"scene_format must be one of {sorted(SCENE_FORMATS)}")
+        if worker_cache_size <= 0:
+            raise ValueError("worker_cache_size must be positive")
+        if resident_cache_size <= 0:
+            raise ValueError("resident_cache_size must be positive")
+        self.num_workers = num_workers
+        self.mp_context = mp_context
+        self.scene_format = scene_format
+        self.worker_cache_size = worker_cache_size
+        self.stats = ExecutorStats()
+
+        self._lock = threading.RLock()
+        self._resident: "OrderedDict[tuple, GaussianScene]" = OrderedDict()
+        self._resident_cache_size = resident_cache_size
+        self._payloads: dict[tuple, SceneRef] = {}
+        self._pending: deque[_FrameTask] = deque()
+        self._handles: dict[int, JobHandle] = {}
+        self._workers: dict[int, _WorkerSlot] = {}
+        self._job_seq = itertools.count()
+        self._worker_seq = itertools.count()
+        self._custom_seq = itertools.count()
+        self._payload_seq = itertools.count()
+        self._tmpdir = None
+        self._dispatcher: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def sequential(self) -> bool:
+        """True when jobs render in-process (no worker pool)."""
+        return self.num_workers <= 1
+
+    def submit(
+        self,
+        job,
+        scene: GaussianScene | None = None,
+        on_frame: Optional[FrameCallback] = None,
+    ) -> JobHandle:
+        """Queue every frame of ``job`` for rendering; return its handle.
+
+        ``scene`` optionally overrides the job's preset scene (it is
+        LOD-pruned and tier-encoded exactly like a resolved one, but never
+        shares residency with other submissions).  ``on_frame`` fires in
+        the parent as each frame completes — in index order on the
+        sequential path, in completion order on the pool path, serialised
+        by the executor's single dispatcher thread; an exception it raises
+        fails the job (surfaced by :meth:`JobHandle.result`).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is shut down")
+            self.stats.jobs_submitted += 1
+        if self.sequential:
+            return self._submit_sequential(job, scene, on_frame)
+        return self._submit_pool(job, scene, on_frame)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the executor: drain (or abort) jobs, stop workers, clean up.
+
+        With ``wait=True`` (default) every submitted job is allowed to
+        finish first; with ``wait=False`` unfinished jobs fail with
+        ``RuntimeError``.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles.values())
+        if self._started:
+            if wait:
+                for handle in handles:
+                    handle._finished.wait()
+            else:
+                with self._lock:
+                    self._pending.clear()
+                    for handle in handles:
+                        handle._fail(RuntimeError("executor shut down"))
+                    self._handles.clear()
+            self._stop.set()
+            if self._dispatcher is not None:
+                self._dispatcher.join(timeout=10.0)
+            for slot in self._workers.values():
+                try:
+                    slot.conn.send(("stop",))
+                except (BrokenPipeError, OSError):  # pragma: no cover - dead
+                    pass
+            for slot in self._workers.values():
+                slot.process.join(timeout=5.0)
+                if slot.process.is_alive():  # pragma: no cover - stuck worker
+                    slot.process.terminate()
+                    slot.process.join(timeout=1.0)
+                try:
+                    slot.conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            if self._tmpdir is not None:
+                try:
+                    self._tmpdir.cleanup()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def __enter__(self) -> "RenderExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Sequential mode
+    # ------------------------------------------------------------------
+    def _submit_sequential(self, job, scene, on_frame) -> JobHandle:
+        """Render in-process immediately; return an already-finished handle.
+
+        The parent keeps an LRU of decoded tiers, so repeated jobs on one
+        tier skip scene preparation (the sequential analogue of worker
+        residency); hits and misses feed the same accounting.
+        """
+        spec = FrameSpec.for_job(job)
+        handle = JobHandle(job, spec, job.num_frames, 0, on_frame)
+        try:
+            if scene is None:
+                key = scene_key(job)
+                with self._lock:
+                    hit = key in self._resident
+                    if hit:
+                        self._resident.move_to_end(key)
+                        render_scene = self._resident[key]
+                    else:
+                        render_scene = resolve_render_scene(job)
+                        self._resident[key] = render_scene
+                        if len(self._resident) > self._resident_cache_size:
+                            self._resident.popitem(last=False)
+            else:
+                hit = False
+                render_scene = resolve_render_scene(job, scene)
+            handle.num_gaussians = render_scene.num_gaussians
+            with self._lock:
+                if hit:
+                    handle.cache_hits += 1
+                    self.stats.cache_hits += 1
+                else:
+                    handle.cache_misses += 1
+                    self.stats.cache_misses += 1
+            for task in enumerate(job.cameras()):
+                try:
+                    record = _render_one(render_scene, task, spec)
+                except Exception as exc:
+                    error = FrameRenderError(job.scene, task[0], repr(exc))
+                    error.__cause__ = exc
+                    raise error
+                handle._add_frame(record)
+                with self._lock:
+                    self.stats.frames_rendered += 1
+        except Exception as exc:
+            # Recorded on the handle, not raised: result() re-raises, so
+            # sequential and pooled failures reach callers the same way.
+            handle._fail(exc)
+            with self._lock:
+                self.stats.jobs_failed += 1
+            return handle
+        with self._lock:
+            self.stats.jobs_completed += 1
+        return handle
+
+    # ------------------------------------------------------------------
+    # Pool mode
+    # ------------------------------------------------------------------
+    def _submit_pool(self, job, scene, on_frame) -> JobHandle:
+        spec = FrameSpec.for_job(job)
+        cameras = job.cameras()
+        handle = JobHandle(
+            job, spec, len(cameras), min(self.num_workers, len(cameras)), on_frame
+        )
+        lod_scene = resolve_lod_scene(job, scene)
+        handle.num_gaussians = lod_scene.num_gaussians
+        with self._lock:
+            # Re-check under the lock: a shutdown may have completed since
+            # submit()'s entry check, and a job enqueued after the
+            # dispatcher stopped would never finish.
+            if self._closed:
+                raise RuntimeError("executor is shut down")
+            self._ensure_started()
+            ref, published = self._publish(job, lod_scene, custom=scene is not None)
+            if published:
+                handle.ship_bytes = ref.nbytes
+            if scene is not None:
+                handle._custom_ref = ref
+            job_id = next(self._job_seq)
+            self._handles[job_id] = handle
+            for index, camera in enumerate(cameras):
+                self._pending.append(_FrameTask(job_id, index, camera, spec, ref))
+        return handle
+
+    def _publish(self, job, lod_scene, custom: bool) -> tuple[SceneRef, bool]:
+        """Encode ``job``'s tier once; reuse the payload for later jobs."""
+        tier = quant_spec(job.quant)
+        if custom:
+            key = ("custom", next(self._custom_seq), job.lod, tier.name)
+        else:
+            key = scene_key(job)
+            existing = self._payloads.get(key)
+            if existing is not None:
+                return existing, False
+        ref = publish_payload(
+            lod_scene,
+            key,
+            self._tmpdir.name,
+            tier,
+            self.scene_format,
+            next(self._payload_seq),
+        )
+        self._payloads[key] = ref
+        self.stats.published_payloads += 1
+        self.stats.published_bytes += ref.nbytes
+        return ref, True
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        import multiprocessing
+
+        self._ctx = multiprocessing.get_context(self.mp_context)
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-exec-")
+        for _ in range(self.num_workers):
+            self._spawn_worker()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-exec-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        self._started = True
+
+    def _spawn_worker(self) -> None:
+        worker_id = next(self._worker_seq)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, child_conn, self.worker_cache_size),
+            name=f"repro-exec-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        # Close the parent's copy of the child end: the child's death must
+        # be the last writer closing, so EOF reaches the dispatcher.
+        child_conn.close()
+        self._workers[worker_id] = _WorkerSlot(worker_id, process, parent_conn)
+
+    # ------------------------------------------------------------------
+    # Dispatcher (parent-side thread)
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        from multiprocessing import connection as mp_connection
+
+        while not self._stop.is_set():
+            self._assign_free_workers()
+            with self._lock:
+                by_conn = {slot.conn: slot for slot in self._workers.values()}
+            ready = mp_connection.wait(list(by_conn), timeout=_POLL_S)
+            for conn in ready:
+                slot = by_conn[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._on_worker_death(slot)
+                    continue
+                self._handle_message(slot, message)
+
+    def _assign_free_workers(self) -> None:
+        with self._lock:
+            for slot in list(self._workers.values()):
+                if slot.inflight is not None:
+                    continue
+                task = self._next_task()
+                if task is None:
+                    return
+                slot.inflight = task
+                try:
+                    slot.conn.send(
+                        (
+                            "task",
+                            task.job_id,
+                            task.index,
+                            task.camera,
+                            task.spec,
+                            task.ref,
+                        )
+                    )
+                except (BrokenPipeError, OSError):
+                    # The worker died before the task reached it: the frame
+                    # is innocent, so requeue it (front, keeping order) and
+                    # let the death path replace the worker.
+                    slot.inflight = None
+                    self._pending.appendleft(task)
+                    self._on_worker_death(slot, requeue_inflight=False)
+
+    def _next_task(self) -> _FrameTask | None:
+        """Pop the next live pending frame (skipping frames of failed jobs)."""
+        while self._pending:
+            task = self._pending.popleft()
+            if task.job_id in self._handles:
+                return task
+        return None
+
+    def _handle_message(self, slot: _WorkerSlot, message) -> None:
+        kind = message[0]
+        if kind == "ok":
+            _, _, job_id, record, hit, loaded = message
+            with self._lock:
+                slot.inflight = None
+                self.stats.frames_rendered += 1
+                if hit:
+                    self.stats.cache_hits += 1
+                else:
+                    self.stats.cache_misses += 1
+                    self.stats.loaded_bytes += loaded
+                handle = self._handles.get(job_id)
+                if handle is not None:
+                    if hit:
+                        handle.cache_hits += 1
+                    else:
+                        handle.cache_misses += 1
+                        handle.loaded_bytes += loaded
+            if handle is None:  # job already failed; drop the late frame
+                return
+            # Deliver outside the lock: on_frame is user code — run under
+            # the lock it would stall every assignment and deadlock any
+            # callback that synchronises with a thread calling submit().
+            try:
+                handle._add_frame(record)
+            except Exception as exc:  # on_frame callback raised
+                with self._lock:
+                    self._fail_job(job_id, exc)
+                return
+            if handle.done():
+                with self._lock:
+                    self._handles.pop(job_id, None)
+                    self.stats.jobs_completed += 1
+                    self._release_custom_payload(handle)
+        else:  # "err"
+            _, _, job_id, index, error, tb = message
+            with self._lock:
+                slot.inflight = None
+                handle = self._handles.get(job_id)
+                scene_name = handle.job.scene if handle is not None else "?"
+                self._fail_job(
+                    job_id,
+                    FrameRenderError(
+                        scene_name,
+                        index,
+                        f"{error}\n--- worker traceback ---\n{tb}",
+                    ),
+                )
+
+    def _fail_job(self, job_id: int, error: BaseException) -> None:
+        """Abort one job: drop its queued frames, fail its handle."""
+        handle = self._handles.pop(job_id, None)
+        if handle is None:
+            return
+        self._pending = deque(t for t in self._pending if t.job_id != job_id)
+        handle._fail(error)
+        self.stats.jobs_failed += 1
+        self._release_custom_payload(handle)
+
+    def _release_custom_payload(self, handle: JobHandle) -> None:
+        """Delete a finished job's caller-supplied payload (never reused).
+
+        Named-preset payloads stay resident for reuse; custom-scene keys
+        are unique per submission, so keeping them would leak one on-disk
+        file per submit for the executor's lifetime.  A worker still
+        holding an in-flight frame of a *failed* custom job may lose the
+        race and find the file gone — its error lands on the already-dead
+        job and is dropped.
+        """
+        ref = handle._custom_ref
+        if ref is None:
+            return
+        self._payloads.pop(ref.key, None)
+        try:
+            Path(ref.path).unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def _on_worker_death(self, slot: _WorkerSlot, requeue_inflight: bool = True) -> None:
+        """Replace a dead worker; fail the frame it was holding (if any).
+
+        Death reaches the dispatcher as EOF on the worker's pipe, strictly
+        *after* every result the worker finished sending, so only the
+        genuinely unfinished in-flight frame is charged to the crash.
+        """
+        with self._lock:
+            if self._workers.get(slot.worker_id) is not slot:
+                return  # already reaped
+            del self._workers[slot.worker_id]
+            slot.process.join(timeout=5.0)
+            code = slot.process.exitcode
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            task = slot.inflight
+            if requeue_inflight and task is not None and task.job_id in self._handles:
+                scene_name = self._handles[task.job_id].job.scene
+                self._fail_job(
+                    task.job_id,
+                    FrameRenderError(
+                        scene_name,
+                        task.index,
+                        f"worker process died (exit code {code}); "
+                        "a replacement worker was spawned",
+                    ),
+                )
+            self._spawn_worker()
+            self.stats.workers_replaced += 1

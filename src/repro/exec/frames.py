@@ -1,0 +1,322 @@
+"""Single-frame execution primitives shared by every scheduling layer.
+
+This module is the bottom of the execution stack: the :class:`FrameSpec`
+describing how one frame renders, :func:`render_frame` (the single-frame
+entry point the evaluation runner, the render farm and the executor workers
+all call), the :class:`FrameRecord` a finished frame becomes, and the
+:class:`JobResult` aggregate a whole trajectory job returns.
+
+History note: these types were born in :mod:`repro.serve.farm` (PR 2) and
+moved here when the persistent :class:`~repro.exec.executor.RenderExecutor`
+was extracted, because both the farm facade and the executor need them and
+the farm now sits *above* the executor.  :mod:`repro.serve.farm` re-exports
+every public name, so existing imports keep working.
+
+Import-cycle invariants (:mod:`repro.eval.runner` and
+:mod:`repro.serve.farm` import from here): this module must not import
+``repro.serve``, ``repro.eval`` or ``repro.store`` at module level — even
+:mod:`repro.store.codec` triggers ``repro.store.__init__``, which reaches
+back through ``repro.serve`` into ``repro.exec``.  Tier validation imports
+the codec lazily.  ``RenderJob`` appears in annotations only, which
+PEP 563 keeps as strings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianScene
+from repro.render.common import RenderConfig
+from repro.render.gaussian_raster import GaussianWiseResult, render_gaussianwise
+from repro.render.tile_raster import TileWiseResult, render_tilewise
+
+FrameResult = Union[TileWiseResult, GaussianWiseResult]
+
+#: Shipping formats a caller may select for lossless scenes ("store" — the
+#: quantized codec container — is engaged automatically whenever a job
+#: requests a quantized tier).  Defined here rather than next to the
+#: payload code so the serving layer can import it without touching the
+#: store package (see the import-cycle note above).
+SCENE_FORMATS: tuple[str, ...] = ("npz", "text")
+
+#: The rendering dataflows a job can request (standard tile-wise pipeline or
+#: the paper's Gaussian-wise pipeline).
+DATAFLOWS: tuple[str, ...] = ("tilewise", "gaussianwise")
+
+#: Per-frame stats fields that are frame-invariant configuration, not
+#: accumulable work counters.  When adding a field to TileWiseStats or
+#: GaussianWiseStats, classify it here if it is config-valued — the exact
+#: counter sets are pinned by tests/test_serve_farm.py
+#: (``test_counter_field_classification_is_exhaustive``), which fails on any
+#: unclassified addition.
+_NON_COUNTER_FIELDS = frozenset(
+    {"width", "height", "tile_size", "block_size", "enable_cc"}
+)
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity/cgroup aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - platforms without affinity
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """Render parameters of one frame, mirroring the evaluation runner.
+
+    ``tilewise`` frames use ``tile_size``/``obb_subtile_skip`` and the
+    conventional 3-sigma radius rule; ``gaussianwise`` frames use
+    ``enable_cc``/``block_size``/``boundary_mode`` and the paper's
+    omega-sigma rule — exactly the configurations
+    :func:`repro.eval.runner.run_tilewise` and
+    :func:`repro.eval.runner.run_gaussianwise` build.
+    """
+
+    dataflow: str = "tilewise"
+    backend: str = "vectorized"
+    tile_size: int = 16
+    obb_subtile_skip: bool = True
+    enable_cc: bool = True
+    block_size: int = 8
+    boundary_mode: str = "alpha"
+    #: Quality tier the job's scene was prepared at.  These two fields are
+    #: provenance, not render parameters: the executor applies them to the
+    #: scene *before* any frame is rendered (LOD pruning + codec
+    #: round-trip), and :func:`render_frame` itself never consults them — a
+    #: worker holding a decoded scene renders it exactly as a lossless one.
+    lod: int = 0
+    quant: str = "lossless"
+
+    def __post_init__(self) -> None:
+        # Lazy tier lookup: importing repro.store at module level here would
+        # close the import cycle described in the module docstring.
+        from repro.store.codec import QUANT_SPECS
+
+        if self.dataflow not in DATAFLOWS:
+            raise ValueError(f"dataflow must be one of {DATAFLOWS}")
+        if self.lod < 0:
+            raise ValueError("lod must be non-negative")
+        if self.quant not in QUANT_SPECS:
+            raise ValueError(f"quant must be one of {sorted(QUANT_SPECS)}")
+
+    @classmethod
+    def for_job(cls, job: RenderJob, **overrides) -> "FrameSpec":
+        """The spec a :class:`RenderJob` renders its frames with."""
+        return cls(
+            dataflow=job.dataflow,
+            backend=job.backend,
+            lod=job.lod,
+            quant=job.quant,
+            **overrides,
+        )
+
+
+def render_frame(scene: GaussianScene, camera: Camera, spec: FrameSpec) -> FrameResult:
+    """Render one frame of ``scene`` from ``camera`` under ``spec``.
+
+    This is the single-frame primitive shared by the evaluation runner, the
+    render farm and the executor workers; both dataflows construct their
+    :class:`RenderConfig` here and nowhere else.
+    """
+    if spec.dataflow == "tilewise":
+        config = RenderConfig(
+            tile_size=spec.tile_size, radius_rule="3sigma", backend=spec.backend
+        )
+        return render_tilewise(
+            scene, camera, config, obb_subtile_skip=spec.obb_subtile_skip
+        )
+    config = RenderConfig(
+        radius_rule="omega-sigma", block_size=spec.block_size, backend=spec.backend
+    )
+    return render_gaussianwise(
+        scene,
+        camera,
+        config,
+        enable_cc=spec.enable_cc,
+        boundary_mode=spec.boundary_mode,
+    )
+
+
+@dataclass
+class FrameRecord:
+    """One finished frame: image, statistics and render latency."""
+
+    index: int
+    image: np.ndarray
+    stats: object
+    render_ms: float
+
+
+#: Per-frame completion callback: called in the parent process as each
+#: frame finishes (index order on the sequential path, completion order on
+#: the executor's concurrent path), before the job's aggregate result
+#: exists — the hook the request scheduler uses to observe latency mid-job.
+FrameCallback = Callable[[FrameRecord], None]
+
+
+class FrameRenderError(RuntimeError):
+    """A frame failed to render; carries the frame index and scene name.
+
+    Raised on every scheduling path instead of letting a raw worker
+    traceback escape the pool, so callers can tell *which* frame of *which*
+    scene died.  ``__cause__`` holds the original exception on the
+    sequential path; worker failures embed the worker-side traceback in the
+    message (the exception object itself may not survive pickling back
+    across the process boundary), and a hard worker crash reports the
+    worker's exit code.
+    """
+
+    def __init__(self, scene: str, frame_index: int, message: str) -> None:
+        super().__init__(
+            f"frame {frame_index} of scene {scene!r} failed to render: {message}"
+        )
+        self.scene = scene
+        self.frame_index = frame_index
+
+
+@dataclass
+class _WorkerFailure:
+    """Pickle-safe record of a worker-side frame failure."""
+
+    index: int
+    error: str
+    traceback: str
+
+
+@dataclass
+class JobResult:
+    """Aggregated output of one render job (farm or executor)."""
+
+    job: RenderJob
+    spec: FrameSpec
+    frames: list[FrameRecord]
+    #: Workers the job actually ran with (0 = in-process sequential path).
+    num_workers: int
+    #: End-to-end wall time.  On the executor this spans submit to last
+    #: frame (payload encoding, worker-side decoding and any queueing
+    #: behind concurrent jobs included); the farm facade's transient
+    #: executor additionally pays pool start-up inside this window, which
+    #: is exactly the cold cost the persistent executor amortises away.
+    wall_seconds: float
+    #: Gaussians in the scene the frames were rendered from (after the
+    #: job's LOD level was applied).
+    num_gaussians: int = 0
+    #: On-disk bytes of the encoded scene payload this job had to publish
+    #: for its worker pool (0 on the sequential path — nothing crosses a
+    #: process boundary — and 0 for a job whose ``(scene, lod, quant)``
+    #: tier was already published by an earlier job on the same executor).
+    ship_bytes: int = 0
+    #: Worker-resident scene-cache accounting, aggregated to the parent:
+    #: frames served from a worker's resident scene vs frames that had to
+    #: load (decode) the payload first, plus the bytes those loads read.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    loaded_bytes: int = 0
+
+    # ------------------------------------------------------------------
+    # Throughput / latency accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def frames_per_second(self) -> float:
+        """End-to-end throughput of the job."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.num_frames / self.wall_seconds
+
+    @property
+    def frame_times_ms(self) -> np.ndarray:
+        """Per-frame render latencies (worker-side, excludes queueing)."""
+        return np.array([f.render_ms for f in self.frames])
+
+    @property
+    def p50_ms(self) -> float:
+        """Median per-frame render latency."""
+        return float(np.percentile(self.frame_times_ms, 50)) if self.frames else 0.0
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile per-frame render latency."""
+        return float(np.percentile(self.frame_times_ms, 95)) if self.frames else 0.0
+
+    @property
+    def warm(self) -> bool:
+        """True when every frame hit a resident scene (nothing shipped/decoded)."""
+        return self.cache_misses == 0 and self.ship_bytes == 0
+
+    def aggregate_counters(self) -> dict[str, int]:
+        """Sum every integer work counter across the job's frames.
+
+        Configuration fields (image size, tile/block size, CC flag) and
+        array-valued fields are excluded; what remains are the additive
+        per-frame work counters (Gaussians preprocessed, alpha evaluations,
+        pixels blended, ...) totalled over the whole trajectory.
+        """
+        totals: dict[str, int] = {}
+        for record in self.frames:
+            for f in dataclasses.fields(record.stats):
+                if f.name in _NON_COUNTER_FIELDS:
+                    continue
+                value = getattr(record.stats, f.name)
+                if isinstance(value, (bool, np.ndarray)):
+                    continue
+                if isinstance(value, (int, np.integer)):
+                    totals[f.name] = totals.get(f.name, 0) + int(value)
+        return totals
+
+    def summary(self) -> dict:
+        """A JSON-serialisable report of the job."""
+        preset = self.job.preset()
+        return {
+            "scene": self.job.scene,
+            "quick": self.job.quick,
+            "trajectory": self.job.trajectory.kind,
+            "dataflow": self.job.dataflow,
+            "backend": self.spec.backend,
+            "lod": self.spec.lod,
+            "quant": self.spec.quant,
+            "num_gaussians": self.num_gaussians,
+            "ship_bytes": self.ship_bytes,
+            "residency": {
+                "warm": self.warm,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "loaded_bytes": self.loaded_bytes,
+            },
+            "num_frames": self.num_frames,
+            "num_workers": self.num_workers,
+            "image_size": [self.frames[0].stats.width, self.frames[0].stats.height]
+            if self.frames
+            else [0, 0],
+            "scene_scale": preset.scale,
+            "wall_seconds": self.wall_seconds,
+            "frames_per_second": self.frames_per_second,
+            "p50_frame_ms": self.p50_ms,
+            "p95_frame_ms": self.p95_ms,
+            "counters": self.aggregate_counters(),
+        }
+
+
+def _render_one(
+    scene: GaussianScene, task: tuple[int, Camera], spec: FrameSpec
+) -> FrameRecord:
+    """Render and time one frame — the unit of work on every scheduling path."""
+    index, camera = task
+    start = time.perf_counter()
+    result = render_frame(scene, camera, spec)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return FrameRecord(
+        index=index, image=result.image, stats=result.stats, render_ms=elapsed_ms
+    )

@@ -1,0 +1,112 @@
+"""Worker-process side of the persistent render executor.
+
+Each worker is a long-lived process running :func:`worker_main`: it reads
+frame tasks off its end of a duplex :func:`multiprocessing.Pipe`, renders
+them against a **bounded resident scene cache**, and sends results (or
+pickle-safe failure tuples) back on the same connection.
+
+One pipe per worker — deliberately, instead of shared queues:
+
+* ``Connection.send`` is synchronous (no feeder thread), so a result a
+  worker finished sending survives in the kernel buffer even if the worker
+  dies the next instant, and the parent reads it *before* the EOF that
+  announces the death — results are never lost or reordered around a
+  crash.
+* A hard worker death (OOM kill, segfault) surfaces to the parent as
+  ``EOFError`` on the connection, which the dispatcher handles by failing
+  the in-flight frame and spawning a replacement — no liveness polling.
+* No hidden threads exist on either side, so spawning a replacement
+  worker from the dispatcher thread cannot fork mid-operation queue
+  feeder state.
+
+Residency contract: a scene tier — keyed by the payload's
+``(scene, lod, quant)`` :class:`~repro.exec.payload.SceneRef.key` — is
+loaded (read + decoded) *at most once per worker* while it stays resident.
+The first frame of a tier pays the load and reports ``loaded_bytes``; every
+later frame of the same tier reports a cache hit and renders immediately.
+The cache is a small LRU (:data:`DEFAULT_WORKER_CACHE_SIZE` tiers) so a
+worker serving many tenants cannot grow without bound; an evicted tier is
+simply re-loaded on next touch (and counted as a fresh miss).
+
+Messages (all plain tuples, pickle-friendly):
+
+* parent -> worker: ``("task", job_id, frame_index, camera, spec,
+  scene_ref)`` or ``("stop",)``;
+* worker -> parent: ``("ok", worker_id, job_id, FrameRecord, hit,
+  loaded_bytes)`` or ``("err", worker_id, job_id, frame_index,
+  error_repr, traceback_str)``.
+
+Exceptions inside a frame surface as ``"err"`` tuples rather than killing
+the worker.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from collections import OrderedDict
+
+from repro.exec.frames import _render_one
+from repro.gaussians.io import load_scene_npz, load_scene_text
+from repro.store.codec import load_scene_store
+
+#: Worker-side scene loaders per shipping format.  ``"store"`` is the
+#: quantized codec container: the parent ships the *encoded* payload and
+#: the worker's load decodes it, so quantized tiers cross the process
+#: boundary at their compressed size.
+_SCENE_LOADERS = {
+    "npz": load_scene_npz,
+    "text": load_scene_text,
+    "store": load_scene_store,
+}
+
+#: Resident scene tiers each worker keeps decoded (LRU-bounded).
+DEFAULT_WORKER_CACHE_SIZE = 8
+
+#: Test-only crash injection: set to ``"<scene>:<frame_index>"`` in the
+#: parent's environment *before the executor starts* and the worker that
+#: picks up that frame dies hard (``os._exit``) without replying — the
+#: deterministic stand-in for an OOM kill / segfault that the
+#: crash-recovery tests use to exercise worker replacement.  Unset in any
+#: normal deployment.
+CRASH_ENV = "REPRO_EXEC_TEST_CRASH"
+_CRASH_EXIT_CODE = 87
+
+
+def _crash_requested(scene: str, frame_index: int) -> bool:
+    directive = os.environ.get(CRASH_ENV)
+    return directive is not None and directive == f"{scene}:{frame_index}"
+
+
+def worker_main(worker_id: int, conn, cache_size: int) -> None:
+    """Run one worker: render tasks forever against a resident scene cache."""
+    cache: OrderedDict[tuple, object] = OrderedDict()
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:  # parent went away; nothing left to serve
+            return
+        if message[0] == "stop":
+            return
+        _, job_id, index, camera, spec, ref = message
+        if _crash_requested(ref.key[0], index):  # pragma: no cover - exits
+            os._exit(_CRASH_EXIT_CODE)
+        try:
+            scene = cache.get(ref.key)
+            hit = scene is not None
+            loaded = 0
+            if not hit:
+                scene = _SCENE_LOADERS[ref.fmt](ref.path)
+                loaded = ref.nbytes
+                cache[ref.key] = scene
+                if len(cache) > cache_size:
+                    cache.popitem(last=False)
+            else:
+                cache.move_to_end(ref.key)
+            record = _render_one(scene, (index, camera), spec)
+        except Exception as exc:
+            conn.send(
+                ("err", worker_id, job_id, index, repr(exc), traceback.format_exc())
+            )
+            continue
+        conn.send(("ok", worker_id, job_id, record, hit, loaded))

@@ -11,9 +11,10 @@ the policy that connect them:
 * :mod:`repro.sched.scheduler` — the admission-controlled
   :class:`~repro.sched.scheduler.RequestScheduler`: priority/deadline
   queues, a deterministic virtual-clock decision plane
-  (:class:`~repro.sched.scheduler.ServiceModel`), and an optional real
-  data plane dispatching :class:`~repro.serve.trajectories.RenderJob`\\ s
-  through the :class:`~repro.serve.farm.RenderFarm`.
+  (:class:`~repro.sched.scheduler.ServiceModel`, which models the
+  executor's warm/cold dispatch split), and an optional real data plane
+  submitting overlapping :class:`~repro.serve.trajectories.RenderJob`\\ s
+  to a persistent :class:`~repro.exec.executor.RenderExecutor`.
 * :mod:`repro.sched.qos` — the
   :class:`~repro.sched.qos.SLOController`: windowed-p95 monitoring, the
   quality tier ladder, hysteresis, load shedding, and the structured

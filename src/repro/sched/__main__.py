@@ -253,6 +253,9 @@ def format_report(report: ScheduleReport) -> str:
         f"  decisions: " + (
             "   ".join(f"{k}={v}" for k, v in summary["decisions"].items()) or "none"
         ),
+        f"  dispatch warmth: {summary['dispatch']['cold']} cold   "
+        f"{summary['dispatch']['warm']} warm (first touch of a tier ships+decodes; "
+        f"warm dispatches reuse resident scenes)",
     ]
     if summary["executed"]:
         measured = summary["measured"]
@@ -261,6 +264,14 @@ def format_report(report: ScheduleReport) -> str:
             f"measured frame p50 {measured['frame_p50_ms']:.1f} ms   "
             f"p95 {measured['frame_p95_ms']:.1f} ms"
         )
+        residency = measured.get("data_plane") or {}
+        if residency:
+            lines.append(
+                f"  data-plane residency: {residency['cache_hits']} scene-cache hits   "
+                f"{residency['cache_misses']} misses   "
+                f"{residency['ship_bytes']} B published   "
+                f"{residency['loaded_bytes']} B worker-loaded"
+            )
     lines += [
         "",
         format_table(
@@ -286,7 +297,7 @@ def main(argv: list[str] | None = None) -> int:
         slo_ms=args.slo_ms,
         seed=args.seed,
     )
-    scheduler = RequestScheduler(
+    with RequestScheduler(
         policy=SchedulerPolicy(
             num_workers=args.workers,
             max_queue=args.max_queue,
@@ -296,8 +307,8 @@ def main(argv: list[str] | None = None) -> int:
         qos=build_controller(args),
         quick=args.quick,
         execute=args.execute,
-    )
-    report = run_workload(spec, scheduler)
+    ) as scheduler:
+        report = run_workload(spec, scheduler)
     if args.json or args.events:
         print(
             json.dumps(

@@ -13,12 +13,21 @@ design splits two planes:
   and the configuration — identical seeds replay identical event logs,
   which is what makes SLO experiments comparable across machines and runs.
 * **Data plane (optional, real).**  With ``execute=True`` every dispatched
-  request additionally renders for real through the existing
-  :class:`~repro.serve.farm.RenderFarm`, at exactly the ``(lod, quant)``
-  tier the decision plane chose, streaming per-frame completions back
-  through the farm's ``on_frame`` callback.  Measured wall/frame times are
-  recorded alongside the modeled ones (they never feed back into decisions
-  — that would trade replayability for machine-local noise).
+  request is additionally *submitted* to a persistent
+  :class:`~repro.exec.executor.RenderExecutor` at exactly the
+  ``(lod, quant)`` tier the decision plane chose — jobs overlap across the
+  executor's worker slots instead of blocking the loop on a per-job farm
+  pool, scenes stay resident in the long-lived workers, and per-frame
+  completions stream back through ``on_frame``.  Measured wall/frame times
+  are drained after the virtual loop and recorded alongside the modeled
+  ones (they never feed back into decisions — that would trade
+  replayability for machine-local noise).
+
+The service model mirrors the executor's residency: the *first* dispatch
+of a ``(scene, lod, quant)`` tier is costed cold (``dispatch_cold_ms`` plus
+encoded-payload shipping), every later dispatch of that tier is warm
+(``dispatch_warm_ms``, nothing shipped).  Warmth is a pure function of the
+decision sequence, so identical seeds still replay identical logs.
 
 Scheduling discipline: admitted requests wait in a priority/deadline queue
 — strict priority classes (premium tenants first), earliest absolute
@@ -56,6 +65,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.eval.scenes import eval_preset
+from repro.exec.executor import RenderExecutor
 from repro.gaussians.synthetic import scaled_image_size, scene_spec
 from repro.render.common import BACKENDS
 from repro.sched.qos import EventLog, QoSPolicy, SLOController, Tier, tier_name
@@ -101,9 +111,17 @@ class ServiceModel:
     ms_per_kgaussian: float = 1.0
     #: Per-frame cost per thousand rendered pixels.
     ms_per_kpixel: float = 0.05
-    #: Fixed per-job dispatch overhead (queue pop, job build, pool wake).
-    dispatch_base_ms: float = 4.0
-    #: Scene-shipping cost per megabyte of the quant tier's encoded payload.
+    #: Per-job dispatch overhead on a *cold* tier: the first time a
+    #: ``(scene, lod, quant)`` tier is dispatched the executor must encode
+    #: the payload and the workers must decode it (plus the per-megabyte
+    #: shipping term below) — the cost the seed farm paid on *every* job
+    #: when it rebuilt its pool per dispatch.
+    dispatch_cold_ms: float = 4.0
+    #: Per-job dispatch overhead on a *warm* tier: queue pop and job build
+    #: against already-resident worker scenes.  No shipping term applies.
+    dispatch_warm_ms: float = 0.75
+    #: Scene-shipping cost per megabyte of the quant tier's encoded payload
+    #: (cold dispatches only — a warm tier is already resident).
     ship_ms_per_mb: float = 4.0
     #: LOD keep ratio (level k retains ``lod_ratio**k`` of the scene).
     lod_ratio: float = DEFAULT_RATIO
@@ -159,21 +177,42 @@ class ServiceModel:
             self._memo[key] = cached
         return cached
 
-    def job_ms(self, request: Request, tier: Tier, workers: int, quick: bool) -> float:
-        """Modeled service time of ``request`` rendered at ``tier``.
+    def dispatch_ms(self, request: Request, tier: Tier, quick: bool, warm: bool) -> float:
+        """Modeled per-job dispatch overhead at ``tier``.
 
-        ``workers`` frame-parallel lanes render the job's frames in
-        ``ceil(num_frames / workers)`` waves; the dispatch overhead adds the
-        encoded-payload shipping cost of the tier's quant level.
+        A *cold* dispatch — the first touch of a ``(scene, lod, quant)``
+        tier since the serving process started — pays the fixed cold
+        overhead plus the tier's encoded-payload shipping cost; a *warm*
+        dispatch runs against resident worker scenes and pays only the
+        (much smaller) warm constant.
         """
+        if warm:
+            return self.dispatch_warm_ms
         lod, quant = tier
         gaussians = self.num_gaussians(request.scene, quick, lod)
         ship_mb = quant_spec(quant).bytes_per_gaussian() * gaussians / 1e6
+        return self.dispatch_cold_ms + self.ship_ms_per_mb * ship_mb
+
+    def job_ms(
+        self,
+        request: Request,
+        tier: Tier,
+        workers: int,
+        quick: bool,
+        warm: bool = False,
+    ) -> float:
+        """Modeled service time of ``request`` rendered at ``tier``.
+
+        ``workers`` frame-parallel lanes render the job's frames in
+        ``ceil(num_frames / workers)`` waves on top of the warm/cold
+        dispatch overhead (see :meth:`dispatch_ms`; ``warm=False`` is the
+        conservative default and matches the pre-executor model, whose
+        every dispatch was cold).
+        """
         waves = math.ceil(request.num_frames / max(1, workers))
-        return (
-            self.dispatch_base_ms
-            + self.ship_ms_per_mb * ship_mb
-            + waves * self.frame_ms(request.scene, quick, lod)
+        lod = tier[0]
+        return self.dispatch_ms(request, tier, quick, warm) + waves * self.frame_ms(
+            request.scene, quick, lod
         )
 
 
@@ -251,8 +290,18 @@ class ScheduleReport:
     outcomes: list[RequestOutcome]
     log: EventLog
     executed: bool
-    #: Real per-frame render latencies streamed off the farm (execute runs).
+    #: Real per-frame render latencies streamed off the executor (execute
+    #: runs; completion order, frames of overlapping jobs interleaved).
     measured_frame_ms: list[float] = field(default_factory=list)
+    #: Decision-plane dispatch warmth: how many dispatched jobs the service
+    #: model costed cold (first touch of a ``(scene, lod, quant)`` tier)
+    #: vs warm (tier already resident from an earlier dispatch).
+    dispatch_counts: dict[str, int] = field(
+        default_factory=lambda: {"cold": 0, "warm": 0}
+    )
+    #: Data-plane residency accounting aggregated off the executor
+    #: (``None`` on virtual-only runs).
+    data_plane: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -351,6 +400,7 @@ class ScheduleReport:
                 "e2e_max": max(e2e) if e2e else 0.0,
             },
             "tier_histogram": self.tier_histogram(),
+            "dispatch": dict(self.dispatch_counts),
             "decisions": self.log.counts(),
             "num_events": len(self.log),
             "makespan_s": self.makespan_ms / 1000.0,
@@ -360,6 +410,7 @@ class ScheduleReport:
                     "frames": len(self.measured_frame_ms),
                     "frame_p50_ms": _percentile(self.measured_frame_ms, 50),
                     "frame_p95_ms": _percentile(self.measured_frame_ms, 95),
+                    "data_plane": self.data_plane,
                 }
                 if self.executed
                 else None
@@ -390,10 +441,24 @@ class RequestScheduler:
     quick:
         Serve the reduced quick presets (tests, smoke runs).
     execute:
-        Also render every dispatched job for real through ``farm``.
+        Also render every dispatched job for real through the executor.
     farm:
-        The :class:`~repro.serve.farm.RenderFarm` of the data plane;
-        defaults to a sequential farm sized by ``policy.num_workers``.
+        Legacy data-plane configuration: a
+        :class:`~repro.serve.farm.RenderFarm` whose worker count, start
+        method and scene format size the default executor.  Superseded by
+        ``executor``.
+    executor:
+        The :class:`~repro.exec.executor.RenderExecutor` of the data
+        plane.  Defaults (when ``execute=True``) to one sized by ``farm``
+        if given, else by ``policy.num_workers``.  The scheduler keeps the
+        executor across runs — that is the warm-pool point — and shuts an
+        *owned* (default-built) executor down in :meth:`close`; a shared
+        one is left to its owner.
+
+    Dispatched jobs are **submitted, not awaited**: the virtual-clock loop
+    keeps scheduling while the executor overlaps jobs across its worker
+    slots, and the measured results are drained after the loop.  Decisions
+    never depend on data-plane timing, so replayability is untouched.
     """
 
     def __init__(
@@ -404,15 +469,33 @@ class RequestScheduler:
         quick: bool = False,
         execute: bool = False,
         farm: RenderFarm | None = None,
+        executor: RenderExecutor | None = None,
     ) -> None:
         self.policy = policy or SchedulerPolicy()
         self.qos = qos if qos is not None else SLOController()
         self.model = service_model or ServiceModel()
         self.quick = quick
         self.execute = execute
-        self.farm = farm or (
-            RenderFarm(num_workers=self.policy.num_workers) if execute else None
-        )
+        self._owns_executor = False
+        if execute and executor is None:
+            executor = RenderExecutor(
+                num_workers=farm.num_workers if farm is not None else self.policy.num_workers,
+                mp_context=farm.mp_context if farm is not None else None,
+                scene_format=farm.scene_format if farm is not None else "npz",
+            )
+            self._owns_executor = True
+        self.executor = executor
+
+    def close(self) -> None:
+        """Shut down an executor this scheduler built for itself."""
+        if self._owns_executor and self.executor is not None:
+            self.executor.shutdown(wait=True)
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(self, requests: list[Request], spec: WorkloadSpec) -> ScheduleReport:
@@ -433,6 +516,14 @@ class RequestScheduler:
         log = self.qos.log
         outcomes: dict[int, RequestOutcome] = {}
         measured_frame_ms: list[float] = []
+        #: Data-plane job handles awaiting drain (submit order).
+        pending_handles: list[tuple[RequestOutcome, object]] = []
+        # Warm/cold state of the virtual clock: the (scene, lod, quant)
+        # tiers dispatched at least once since this run started.  Purely a
+        # function of the decision sequence, so replayability is preserved.
+        self._touched = set()
+        dispatch_counts = {"cold": 0, "warm": 0}
+        self._dispatch_counts = dispatch_counts
 
         # Event heap: (time, sequence, kind, payload).  Sequence breaks
         # ties deterministically: arrivals are pre-pushed with the lowest
@@ -468,7 +559,7 @@ class RequestScheduler:
             """
             tier = self.qos.current_tier
             return sum(
-                self.model.job_ms(r, tier, self.policy.model_workers, self.quick)
+                self._job_cost(r, tier)
                 for priority, deadline, _, r in queue
                 if priority < request.priority
                 or (priority == request.priority and deadline <= request.deadline_ms)
@@ -478,7 +569,9 @@ class RequestScheduler:
             nonlocal busy, seq, running_until
             while not busy and queue:
                 _, _, _, request = heapq.heappop(queue)
-                if self._serve_or_shed(now, request, outcomes, measured_frame_ms, log):
+                if self._serve_or_shed(
+                    now, request, outcomes, measured_frame_ms, pending_handles, log
+                ):
                     busy = True
                     running_until = now + outcomes[request.request_id].service_ms
                     heapq.heappush(events, (running_until, seq, "complete", request))
@@ -501,12 +594,7 @@ class RequestScheduler:
                     )
                     dispatch(now)
                     continue
-                cheapest_ms = self.model.job_ms(
-                    request,
-                    self.qos.cheapest_tier,
-                    self.policy.model_workers,
-                    self.quick,
-                )
+                cheapest_ms = self._job_cost(request, self.qos.cheapest_tier)
                 pending_ms = (running_until - now) if busy else 0.0
                 projected_ms = pending_ms + queued_backlog_ms(request) + cheapest_ms
                 if self.qos.should_shed(
@@ -557,6 +645,25 @@ class RequestScheduler:
                 self.qos.observe(now, outcome.e2e_ms, request.slo_ms)
                 dispatch(now)
 
+        # Drain the data plane: the virtual loop submitted jobs without
+        # waiting (they overlap across the executor's worker slots); their
+        # measured results land on the outcomes only now, after every
+        # decision has been made, so timing noise cannot leak into replays.
+        data_plane = None
+        if pending_handles:
+            residency = {"cache_hits": 0, "cache_misses": 0, "ship_bytes": 0, "loaded_bytes": 0}
+            for outcome, handle in pending_handles:
+                result = handle.result()
+                outcome.measured_wall_ms = result.wall_seconds * 1000.0
+                outcome.measured_frames = result.num_frames
+                residency["cache_hits"] += result.cache_hits
+                residency["cache_misses"] += result.cache_misses
+                residency["ship_bytes"] += result.ship_bytes
+                residency["loaded_bytes"] += result.loaded_bytes
+            data_plane = residency
+        elif self.execute:
+            data_plane = {"cache_hits": 0, "cache_misses": 0, "ship_bytes": 0, "loaded_bytes": 0}
+
         ordered = [outcomes[r.request_id] for r in requests]
         assert all(o.status in OUTCOME_STATUSES for o in ordered)
         return ScheduleReport(
@@ -568,15 +675,34 @@ class RequestScheduler:
             log=log,
             executed=self.execute,
             measured_frame_ms=measured_frame_ms,
+            dispatch_counts=dispatch_counts,
+            data_plane=data_plane,
         )
 
     # ------------------------------------------------------------------
+    def _job_cost(self, request: Request, tier: Tier) -> float:
+        """Modeled service time of ``request`` at ``tier``, warmth-aware.
+
+        A tier dispatched earlier in this run is *warm* — its payload is
+        already encoded, shipped and decoded in the (modeled) executor — so
+        the virtual clock charges only the warm dispatch constant.  The
+        warmth state is a pure function of the decision sequence, keeping
+        the clock replayable.  (The model tracks first-touch per
+        deployment, not per worker slot — the conservative simplification
+        of the executor's per-worker residency.)
+        """
+        warm = (request.scene, tier) in self._touched
+        return self.model.job_ms(
+            request, tier, self.policy.model_workers, self.quick, warm=warm
+        )
+
     def _serve_or_shed(
         self,
         now: float,
         request: Request,
         outcomes: dict[int, RequestOutcome],
         measured_frame_ms: list[float],
+        pending_handles: list,
         log: EventLog,
     ) -> bool:
         """Serve one popped request, or late-shed it when it became hopeless.
@@ -592,9 +718,8 @@ class RequestScheduler:
         point of the comparison.
         """
         tier, demoted_from = self._dispatch_tier(request, now)
-        service_ms = self.model.job_ms(
-            request, tier, self.policy.model_workers, self.quick
-        )
+        warm = (request.scene, tier) in self._touched
+        service_ms = self._job_cost(request, tier)
         wait_ms = now - request.arrival_ms
         outcome = outcomes[request.request_id]
         slack_ms = request.deadline_ms - now
@@ -617,17 +742,20 @@ class RequestScheduler:
             "client": request.client_id,
             "scene": request.scene,
             "tier": tier_name(tier),
+            "warm": warm,
             "queue_wait_ms": round(wait_ms, 3),
             "service_ms": round(service_ms, 3),
         }
         if demoted_from is not None:
             entry["demoted_from"] = tier_name(demoted_from)
         log.emit(now, "dispatch", **entry)
+        self._dispatch_counts["warm" if warm else "cold"] += 1
+        self._touched.add((request.scene, tier))
         outcome.tier = tier
         outcome.queue_wait_ms = wait_ms
         outcome.service_ms = service_ms
         if self.execute:
-            self._execute(request, tier, outcome, measured_frame_ms)
+            self._execute(request, tier, outcome, measured_frame_ms, pending_handles)
         return True
 
     def _dispatch_tier(self, request: Request, now: float) -> tuple[Tier, Tier | None]:
@@ -660,8 +788,7 @@ class RequestScheduler:
         slack_ms = request.deadline_ms - now
         start = ladder[rung]
         while rung < len(ladder) - 1 and (
-            self.model.job_ms(request, ladder[rung], self.policy.model_workers, self.quick)
-            > slack_ms
+            self._job_cost(request, ladder[rung]) > slack_ms
         ):
             rung += 1
         tier = ladder[rung]
@@ -691,14 +818,22 @@ class RequestScheduler:
         tier: Tier,
         outcome: RequestOutcome,
         measured_frame_ms: list[float],
+        pending_handles: list,
     ) -> None:
-        """Data plane: really render the dispatched job through the farm."""
-        result = self.farm.run(
+        """Data plane: submit the dispatched job to the executor.
+
+        The handle is queued, not awaited — the executor overlaps frames
+        of every in-flight job across its worker slots (a sequential
+        executor simply completes the handle synchronously), and the run
+        loop drains all handles after the last virtual-clock event.
+        Per-frame latencies stream back through ``on_frame`` as frames
+        really complete.
+        """
+        handle = self.executor.submit(
             self.build_job(request, tier),
             on_frame=lambda record: measured_frame_ms.append(record.render_ms),
         )
-        outcome.measured_wall_ms = result.wall_seconds * 1000.0
-        outcome.measured_frames = result.num_frames
+        pending_handles.append((outcome, handle))
 
 
 def run_workload(

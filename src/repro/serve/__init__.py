@@ -6,10 +6,12 @@ render service:
 * :mod:`repro.serve.trajectories` — parameterised camera paths (orbit,
   dolly, walkthrough, random-jitter) that expand any evaluation preset into
   an N-frame :class:`~repro.serve.trajectories.RenderJob`;
-* :mod:`repro.serve.farm` — the :class:`~repro.serve.farm.RenderFarm`
-  scheduler, which shards a job's frames across a ``multiprocessing`` pool
-  (workers hold the scene resident) or falls back to an in-process
-  sequential path, and aggregates images, statistics counters and
+* :mod:`repro.serve.farm` — the :class:`~repro.serve.farm.RenderFarm`, a
+  one-job-at-a-time facade over the execution subsystem
+  (:mod:`repro.exec`): a transient per-job worker pool by default, a
+  shared persistent :class:`~repro.exec.executor.RenderExecutor` (warm
+  workers, resident scene tiers) when one is passed, or an in-process
+  sequential path — aggregating images, statistics counters and
   throughput/latency figures into a :class:`~repro.serve.farm.JobResult`;
 * :mod:`repro.serve.cache` — the bounded :class:`~repro.serve.cache.LRUCache`
   backing the evaluation runner's artifact memos;

@@ -14,6 +14,14 @@ quantized store container, or the text exchange format) and fails with a
 clear error otherwise; ``--lod``/``--quant`` select the scene store's
 quality tier for any scene, named or file-backed.
 
+``--repeat N`` measures steady state on a persistent
+:class:`~repro.exec.executor.RenderExecutor`: iteration 1 is cold (worker
+start-up, scene encode, worker-side decode), the rest land on resident
+worker scenes, and the report splits warm vs cold frames/s — the executor
+win, visible from the CLI::
+
+    python -m repro.serve --scene train --frames 8 --workers 4 --repeat 5
+
 The same entry point is installed as the ``repro-serve`` console script.
 Exit status is 0 on success; bad arguments (including unreadable or
 unrecognised scene files) exit with ``argparse``'s usual status 2.
@@ -102,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (0 or 1 = in-process sequential fallback)",
     )
     parser.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "run the job N times on one persistent executor and report "
+            "warm-vs-cold throughput (iteration 1 is cold: pool start-up, "
+            "scene encode, worker decode; the rest hit resident scenes)"
+        ),
+    )
+    parser.add_argument(
         "--dataflow",
         default="tilewise",
         choices=DATAFLOWS,
@@ -169,6 +188,66 @@ def _register_scene_file(path: str) -> str:
         overwrite=True,
     )
     return name
+
+
+def run_repeated(job: RenderJob, args: argparse.Namespace, on_frame) -> tuple[list[JobResult], dict]:
+    """Run ``job`` ``args.repeat`` times on one persistent executor.
+
+    Iteration 1 is the cold pass (worker start-up on the pool path, scene
+    preparation, payload encode + worker decode); every later iteration
+    lands on resident scenes.  Returns the per-iteration results plus the
+    executor's aggregate residency stats.
+    """
+    from repro.exec import RenderExecutor
+
+    results = []
+    with RenderExecutor(
+        num_workers=args.workers, mp_context=args.mp_context
+    ) as executor:
+        for _ in range(args.repeat):
+            results.append(executor.submit(job, on_frame=on_frame).result())
+        stats = executor.stats.as_dict()
+    return results, stats
+
+
+def repeat_summary(results: list[JobResult], stats: dict) -> dict:
+    """Warm-vs-cold accounting over one ``--repeat`` series."""
+    cold = results[0]
+    warm = results[1:]
+    warm_fps = (
+        sum(r.frames_per_second for r in warm) / len(warm) if warm else 0.0
+    )
+    return {
+        "iterations": len(results),
+        "cold_fps": cold.frames_per_second,
+        "warm_fps": warm_fps,
+        "warm_over_cold": (
+            warm_fps / cold.frames_per_second if cold.frames_per_second else 0.0
+        ),
+        "per_iteration_fps": [r.frames_per_second for r in results],
+        "per_iteration_ship_bytes": [r.ship_bytes for r in results],
+        "all_warm_after_first": all(r.warm for r in warm),
+        "executor": stats,
+    }
+
+
+def format_repeat_report(repeat: dict) -> str:
+    """Render the warm-vs-cold section of a ``--repeat`` run."""
+    lines = [
+        "",
+        f"Steady-state measurement over {repeat['iterations']} iterations "
+        "(persistent executor):",
+        f"  cold (iteration 1): {repeat['cold_fps']:.2f} frames/s   "
+        f"warm (rest): {repeat['warm_fps']:.2f} frames/s   "
+        f"warm/cold: {repeat['warm_over_cold']:.2f}x",
+        f"  ship bytes per iteration: {repeat['per_iteration_ship_bytes']} "
+        "(plateaus after the first touch — scenes ship at most once per worker)",
+        f"  executor: {repeat['executor']['cache_hits']} scene-cache hits   "
+        f"{repeat['executor']['cache_misses']} misses   "
+        f"{repeat['executor']['published_bytes']} B published   "
+        f"{repeat['executor']['loaded_bytes']} B worker-loaded",
+    ]
+    return "\n".join(lines)
 
 
 def format_report(result: JobResult) -> str:
@@ -239,11 +318,23 @@ def main(argv: list[str] | None = None) -> int:
                 flush=True,
             )
 
-    result = farm.run(job, on_frame=on_frame)
-    if args.json:
-        print(json.dumps(result.summary(), indent=2, sort_keys=True))
+    if args.repeat > 1:
+        results, stats = run_repeated(job, args, on_frame)
+        result = results[-1]
+        repeat = repeat_summary(results, stats)
     else:
-        print(format_report(result))
+        result = farm.run(job, on_frame=on_frame)
+        repeat = None
+    if args.json:
+        summary = result.summary()
+        if repeat is not None:
+            summary["repeat"] = repeat
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        text = format_report(result)
+        if repeat is not None:
+            text += "\n" + format_repeat_report(repeat)
+        print(text)
     return 0
 
 

@@ -1,371 +1,65 @@
-"""Render farm: frame-parallel scheduling of trajectory jobs.
+"""Render farm: the one-job-at-a-time facade over the render executor.
 
 A :class:`RenderFarm` takes a :class:`~repro.serve.trajectories.RenderJob`
-(scene preset x camera trajectory x dataflow), shards its frames across a
-``multiprocessing`` worker pool and aggregates the per-frame images,
-statistics counters and latencies into a :class:`JobResult`.
+(scene preset x camera trajectory x dataflow), renders every frame and
+aggregates the images, statistics counters and latencies into a
+:class:`~repro.exec.frames.JobResult`.  Since the persistent-executor
+refactor the farm no longer owns any execution machinery: it is a thin
+facade over :class:`repro.exec.RenderExecutor`.
 
-Design points:
+* **Standalone farm (default).**  ``RenderFarm(num_workers=4).run(job)``
+  spins up a transient executor for that one job and tears it down after —
+  the original per-job-pool behaviour, preserved for scripts and
+  benchmarks that measure exactly that cold path.  ``num_workers <= 1`` (or
+  a single-frame job) renders in-process with no pool at all.
+* **Shared executor.**  ``RenderFarm(executor=executor)`` routes ``run``
+  through a long-lived :class:`~repro.exec.executor.RenderExecutor`, so
+  repeated jobs reuse warm workers and resident scenes, and several farms
+  (or any other caller) can share one pool.  This is what a serving
+  process wants; the ``repro-serve --repeat`` CLI and the request
+  scheduler's data plane both use it.
 
-* **Workers build the scene once.**  The parent generates the synthetic
-  scene, serialises it (lossless ``.npz`` by default) and every worker
-  deserialises it a single time in its pool initialiser; after that only
-  cameras (a 4x4 matrix plus intrinsics) and finished frames cross the
-  process boundary.  This mirrors how a real 3DGS service keeps the model
-  resident while viewpoints stream in.
-* **Quality tiers.**  A job may request a scene-store quality tier
-  (``RenderJob.lod`` prunes by importance, ``RenderJob.quant`` selects a
-  :mod:`repro.store.codec` quantization tier).  The tier is applied to the
-  scene *before* any frame renders; on the pool path a quantized tier ships
-  the **encoded** payload (the quantized store container) so the
-  bytes crossing the process boundary shrink with the tier, and the worker's
-  one-time load decodes it.  Decoding is deterministic, so pool output stays
-  bitwise identical to the sequential fallback at every tier.
-* **Determinism.**  Rendering is a pure function of (scene, camera, spec),
-  and ``.npz`` shipping is bit-exact for float64 arrays, so farm output is
-  bitwise identical to the in-process sequential fallback and to
-  single-frame :mod:`repro.eval.runner` renders of the same cameras —
-  statistics counters included.  (The human-readable ``text`` scene format
-  rounds to 9 significant digits and is intended for debugging, not for
-  bit-exact serving.)
-* **Sequential fallback.**  ``num_workers <= 1`` renders in-process with no
-  serialisation or pool, which is both the baseline the farm speedup is
-  measured against and the portable path for single-CPU environments.
-* **Incremental streaming.**  ``run(job, on_frame=...)`` fires a callback in
-  the parent as each frame completes (the pool path streams results through
-  ``imap_unordered``), so a caller — e.g. the request scheduler in
-  :mod:`repro.sched` — can observe per-frame latency mid-job rather than
-  after the aggregate :class:`JobResult`.  Frame failures surface as
-  :class:`FrameRenderError` (frame index + scene name + worker traceback),
-  never as a raw pool traceback.
+All behavioural contracts of the pre-refactor farm hold structurally,
+because both paths run the same :mod:`repro.exec` primitives: pool output
+is bitwise identical to the sequential fallback (images *and* statistics
+counters) at every ``(lod, quant)`` tier, quantized tiers ship the encoded
+payload, frames stream through ``on_frame``, and failures surface as
+:class:`~repro.exec.frames.FrameRenderError` with the frame index and
+scene name.
 
-:func:`render_frame` is the shared single-frame entry point: the evaluation
-runner's memoised ``run_tilewise``/``run_gaussianwise`` and the farm workers
-all call it with the same :class:`FrameSpec`, which is what makes the
-bitwise-equality guarantee structural rather than coincidental.
+This module re-exports the execution primitives (``FrameSpec``,
+``render_frame``, ``JobResult``, ...) that historically lived here, so
+``from repro.serve.farm import render_frame`` keeps working.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import os
-import tempfile
-import time
-import traceback
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Optional
 
-import numpy as np
-
-from repro.gaussians.camera import Camera
-from repro.gaussians.io import (
-    load_scene_npz,
-    load_scene_text,
-    save_scene_npz,
-    save_scene_text,
+from repro.exec.frames import (  # noqa: F401 - re-exported compatibility names
+    DATAFLOWS,
+    _NON_COUNTER_FIELDS,
+    SCENE_FORMATS,
+    FrameCallback,
+    FrameRecord,
+    FrameRenderError,
+    FrameResult,
+    FrameSpec,
+    JobResult,
+    _render_one,
+    _WorkerFailure,
+    render_frame,
+    usable_cpu_count,
 )
 from repro.gaussians.model import GaussianScene
-from repro.gaussians.synthetic import make_scene
-from repro.render.common import RenderConfig
-from repro.render.gaussian_raster import GaussianWiseResult, render_gaussianwise
-from repro.render.tile_raster import TileWiseResult, render_tilewise
-from repro.store.codec import (
-    QUANT_SPECS,
-    load_scene_store,
-    quant_spec,
-    roundtrip_scene,
-    save_scene_store,
-)
-from repro.store.lod import select_lod
 
-# Import-cycle invariants (repro.eval.runner imports render_frame from this
-# module): (a) this module must not import repro.serve.trajectories or
-# anything under repro.eval at module level — a chain farm -> trajectories ->
-# eval -> runner would re-enter farm before FrameSpec exists; (b) neither
-# repro.eval.scenes nor repro.serve.trajectories may ever import
-# repro.eval.runner; (c) of the scene store only repro.store.codec and
-# repro.store.lod may be imported here at module level —
-# repro.store.store pulls repro.serve.cache back in (resolved lazily inside
-# run() via default_store()).  RenderJob appears below in annotations only,
-# which PEP 563 keeps as strings.
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.exec.executor import JobHandle, RenderExecutor
 
-FrameResult = Union[TileWiseResult, GaussianWiseResult]
-
-#: The rendering dataflows a job can request (standard tile-wise pipeline or
-#: the paper's Gaussian-wise pipeline).
-DATAFLOWS: tuple[str, ...] = ("tilewise", "gaussianwise")
-
-#: Per-frame stats fields that are frame-invariant configuration, not
-#: accumulable work counters.  When adding a field to TileWiseStats or
-#: GaussianWiseStats, classify it here if it is config-valued — the exact
-#: counter sets are pinned by tests/test_serve_farm.py
-#: (``test_counter_field_classification_is_exhaustive``), which fails on any
-#: unclassified addition.
-_NON_COUNTER_FIELDS = frozenset(
-    {"width", "height", "tile_size", "block_size", "enable_cc"}
-)
-
-
-def usable_cpu_count() -> int:
-    """CPUs this process may actually run on (affinity/cgroup aware)."""
-    try:
-        return len(os.sched_getaffinity(0)) or 1
-    except AttributeError:  # pragma: no cover - platforms without affinity
-        return os.cpu_count() or 1
-
-
-@dataclass(frozen=True)
-class FrameSpec:
-    """Render parameters of one frame, mirroring the evaluation runner.
-
-    ``tilewise`` frames use ``tile_size``/``obb_subtile_skip`` and the
-    conventional 3-sigma radius rule; ``gaussianwise`` frames use
-    ``enable_cc``/``block_size``/``boundary_mode`` and the paper's
-    omega-sigma rule — exactly the configurations
-    :func:`repro.eval.runner.run_tilewise` and
-    :func:`repro.eval.runner.run_gaussianwise` build.
-    """
-
-    dataflow: str = "tilewise"
-    backend: str = "vectorized"
-    tile_size: int = 16
-    obb_subtile_skip: bool = True
-    enable_cc: bool = True
-    block_size: int = 8
-    boundary_mode: str = "alpha"
-    #: Quality tier the job's scene was prepared at.  These two fields are
-    #: provenance, not render parameters: the farm applies them to the scene
-    #: *before* any frame is rendered (LOD pruning + codec round-trip), and
-    #: :func:`render_frame` itself never consults them — a worker holding a
-    #: decoded scene renders it exactly as a lossless one.
-    lod: int = 0
-    quant: str = "lossless"
-
-    def __post_init__(self) -> None:
-        if self.dataflow not in DATAFLOWS:
-            raise ValueError(f"dataflow must be one of {DATAFLOWS}")
-        if self.lod < 0:
-            raise ValueError("lod must be non-negative")
-        if self.quant not in QUANT_SPECS:
-            raise ValueError(f"quant must be one of {sorted(QUANT_SPECS)}")
-
-    @classmethod
-    def for_job(cls, job: RenderJob, **overrides) -> "FrameSpec":
-        """The spec a :class:`RenderJob` renders its frames with."""
-        return cls(
-            dataflow=job.dataflow,
-            backend=job.backend,
-            lod=job.lod,
-            quant=job.quant,
-            **overrides,
-        )
-
-
-def render_frame(scene: GaussianScene, camera: Camera, spec: FrameSpec) -> FrameResult:
-    """Render one frame of ``scene`` from ``camera`` under ``spec``.
-
-    This is the single-frame primitive shared by the evaluation runner and
-    the farm workers; both dataflows construct their :class:`RenderConfig`
-    here and nowhere else.
-    """
-    if spec.dataflow == "tilewise":
-        config = RenderConfig(
-            tile_size=spec.tile_size, radius_rule="3sigma", backend=spec.backend
-        )
-        return render_tilewise(
-            scene, camera, config, obb_subtile_skip=spec.obb_subtile_skip
-        )
-    config = RenderConfig(
-        radius_rule="omega-sigma", block_size=spec.block_size, backend=spec.backend
-    )
-    return render_gaussianwise(
-        scene,
-        camera,
-        config,
-        enable_cc=spec.enable_cc,
-        boundary_mode=spec.boundary_mode,
-    )
-
-
-@dataclass
-class FrameRecord:
-    """One finished frame: image, statistics and render latency."""
-
-    index: int
-    image: np.ndarray
-    stats: object
-    render_ms: float
-
-
-#: Per-frame completion callback: called in the parent process as each
-#: frame finishes (index order on the sequential path, completion order on
-#: the pool path), before the job's aggregate result exists — the hook the
-#: request scheduler uses to observe latency mid-job.
-FrameCallback = Callable[[FrameRecord], None]
-
-
-class FrameRenderError(RuntimeError):
-    """A frame failed to render; carries the frame index and scene name.
-
-    Raised by :meth:`RenderFarm.run` on both scheduling paths instead of
-    letting a raw worker traceback escape the pool, so callers can tell
-    *which* frame of *which* scene died.  ``__cause__`` holds the original
-    exception on the sequential path; pool failures embed the worker-side
-    traceback in the message (the exception object itself may not survive
-    pickling back across the process boundary).
-    """
-
-    def __init__(self, scene: str, frame_index: int, message: str) -> None:
-        super().__init__(
-            f"frame {frame_index} of scene {scene!r} failed to render: {message}"
-        )
-        self.scene = scene
-        self.frame_index = frame_index
-
-
-@dataclass
-class _WorkerFailure:
-    """Pickle-safe record of a worker-side frame failure."""
-
-    index: int
-    error: str
-    traceback: str
-
-
-@dataclass
-class JobResult:
-    """Aggregated output of one render-farm job."""
-
-    job: RenderJob
-    spec: FrameSpec
-    frames: list[FrameRecord]
-    #: Workers the job actually ran with (0 = in-process sequential path).
-    num_workers: int
-    #: End-to-end wall time, including pool start-up and scene shipping.
-    wall_seconds: float
-    #: Gaussians in the scene the frames were rendered from (after the
-    #: job's LOD level was applied).
-    num_gaussians: int = 0
-    #: On-disk bytes of the scene payload shipped to the worker pool
-    #: (0 on the sequential path — nothing crosses a process boundary).
-    ship_bytes: int = 0
-
-    # ------------------------------------------------------------------
-    # Throughput / latency accounting
-    # ------------------------------------------------------------------
-    @property
-    def num_frames(self) -> int:
-        return len(self.frames)
-
-    @property
-    def frames_per_second(self) -> float:
-        """End-to-end throughput of the job."""
-        if self.wall_seconds <= 0:
-            return 0.0
-        return self.num_frames / self.wall_seconds
-
-    @property
-    def frame_times_ms(self) -> np.ndarray:
-        """Per-frame render latencies (worker-side, excludes queueing)."""
-        return np.array([f.render_ms for f in self.frames])
-
-    @property
-    def p50_ms(self) -> float:
-        """Median per-frame render latency."""
-        return float(np.percentile(self.frame_times_ms, 50)) if self.frames else 0.0
-
-    @property
-    def p95_ms(self) -> float:
-        """95th-percentile per-frame render latency."""
-        return float(np.percentile(self.frame_times_ms, 95)) if self.frames else 0.0
-
-    def aggregate_counters(self) -> dict[str, int]:
-        """Sum every integer work counter across the job's frames.
-
-        Configuration fields (image size, tile/block size, CC flag) and
-        array-valued fields are excluded; what remains are the additive
-        per-frame work counters (Gaussians preprocessed, alpha evaluations,
-        pixels blended, ...) totalled over the whole trajectory.
-        """
-        totals: dict[str, int] = {}
-        for record in self.frames:
-            for f in dataclasses.fields(record.stats):
-                if f.name in _NON_COUNTER_FIELDS:
-                    continue
-                value = getattr(record.stats, f.name)
-                if isinstance(value, (bool, np.ndarray)):
-                    continue
-                if isinstance(value, (int, np.integer)):
-                    totals[f.name] = totals.get(f.name, 0) + int(value)
-        return totals
-
-    def summary(self) -> dict:
-        """A JSON-serialisable report of the job."""
-        preset = self.job.preset()
-        return {
-            "scene": self.job.scene,
-            "quick": self.job.quick,
-            "trajectory": self.job.trajectory.kind,
-            "dataflow": self.job.dataflow,
-            "backend": self.spec.backend,
-            "lod": self.spec.lod,
-            "quant": self.spec.quant,
-            "num_gaussians": self.num_gaussians,
-            "ship_bytes": self.ship_bytes,
-            "num_frames": self.num_frames,
-            "num_workers": self.num_workers,
-            "image_size": [self.frames[0].stats.width, self.frames[0].stats.height]
-            if self.frames
-            else [0, 0],
-            "scene_scale": preset.scale,
-            "wall_seconds": self.wall_seconds,
-            "frames_per_second": self.frames_per_second,
-            "p50_frame_ms": self.p50_ms,
-            "p95_frame_ms": self.p95_ms,
-            "counters": self.aggregate_counters(),
-        }
-
-
-# ----------------------------------------------------------------------
-# Worker-side machinery
-# ----------------------------------------------------------------------
-#: Per-worker state: the deserialised scene and the job's frame spec, set
-#: once by :func:`_worker_init` when the pool starts.
-_WORKER_STATE: dict = {}
-
-#: Worker-side scene loaders per shipping format.  ``"store"`` is the
-#: quantized codec container: the parent ships the *encoded* payload and
-#: the worker's load decodes it, so quantized tiers cross the process
-#: boundary at their compressed size.
-_SCENE_LOADERS = {"npz": load_scene_npz, "text": load_scene_text, "store": load_scene_store}
-_SCENE_SAVERS = {"npz": save_scene_npz, "text": save_scene_text}
-
-#: Shipping formats a caller may select for lossless scenes ("store" is
-#: engaged automatically whenever the job requests a quantized tier).
-SCENE_FORMATS: tuple[str, ...] = ("npz", "text")
-
-
-def _worker_init(scene_path: str, scene_format: str, spec: FrameSpec) -> None:
-    """Pool initialiser: load the shipped scene exactly once per worker."""
-    _WORKER_STATE["scene"] = _SCENE_LOADERS[scene_format](scene_path)
-    _WORKER_STATE["spec"] = spec
-
-
-def _worker_render(task: tuple[int, Camera]) -> Union[FrameRecord, _WorkerFailure]:
-    """Render one queued frame against the worker-resident scene.
-
-    Failures come back as a pickle-safe :class:`_WorkerFailure` (frame index
-    plus the worker-side traceback) rather than propagating out of
-    ``imap_unordered`` as a bare remote traceback; the parent re-raises them
-    as :class:`FrameRenderError` with the scene name attached.
-    """
-    try:
-        return _render_one(_WORKER_STATE["scene"], task, _WORKER_STATE["spec"])
-    except Exception as exc:
-        return _WorkerFailure(
-            index=task[0], error=repr(exc), traceback=traceback.format_exc()
-        )
+# Import-cycle invariant: repro.exec.executor is imported lazily (inside
+# methods) because importing this module can happen *while* repro.exec is
+# still initialising (repro.exec -> repro.store -> repro.serve -> here);
+# repro.exec.frames is safe — it completes before anything re-enters.
 
 
 class RenderFarm:
@@ -374,10 +68,11 @@ class RenderFarm:
     Parameters
     ----------
     num_workers:
-        Worker processes to shard frames across.  ``0`` or ``1`` selects the
-        in-process sequential fallback; ``None`` uses the number of CPUs
-        actually usable by this process (scheduler affinity / cgroup limits
-        respected, not the host core count).
+        Worker processes to shard frames across.  ``0`` or ``1`` selects
+        the in-process sequential fallback; ``None`` uses the number of
+        CPUs actually usable by this process (scheduler affinity / cgroup
+        limits respected, not the host core count).  Ignored when a shared
+        ``executor`` is supplied (the executor's pool serves the job).
     mp_context:
         ``multiprocessing`` start-method name (``"fork"``, ``"spawn"``,
         ``"forkserver"``) or ``None`` for the platform default.  Spawned
@@ -388,6 +83,12 @@ class RenderFarm:
         ``"npz"`` (default, bit-exact) or ``"text"`` (9-significant-digit
         debug format; worker renders then match an in-process render of the
         round-tripped scene, not of the original).
+    executor:
+        Optional shared :class:`~repro.exec.executor.RenderExecutor`.
+        When given, every ``run`` submits to it (warm workers, resident
+        scenes, concurrent with other submitters) and the farm does not
+        own — and never shuts down — the pool.  When omitted, each ``run``
+        uses a private transient executor (cold per-job pool).
     """
 
     def __init__(
@@ -395,7 +96,12 @@ class RenderFarm:
         num_workers: int | None = None,
         mp_context: str | None = None,
         scene_format: str = "npz",
+        executor: RenderExecutor | None = None,
     ) -> None:
+        if executor is not None:
+            num_workers = executor.num_workers
+            mp_context = executor.mp_context
+            scene_format = executor.scene_format
         if num_workers is None:
             num_workers = usable_cpu_count()
         if num_workers < 0:
@@ -405,11 +111,12 @@ class RenderFarm:
         self.num_workers = num_workers
         self.mp_context = mp_context
         self.scene_format = scene_format
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def run(
         self,
-        job: RenderJob,
+        job,
         scene: GaussianScene | None = None,
         on_frame: Optional[FrameCallback] = None,
     ) -> JobResult:
@@ -428,10 +135,10 @@ class RenderFarm:
         on_frame:
             Optional per-frame completion callback, invoked in the parent
             process as each frame finishes — in index order on the
-            sequential path, in completion order on the pool path (frames
-            stream back through ``imap_unordered``).  This is how a caller
-            observes latency mid-job instead of waiting for the aggregate
-            :class:`JobResult`; exceptions it raises abort the job.
+            sequential path, in completion order on the pool path.  This is
+            how a caller observes latency mid-job instead of waiting for
+            the aggregate :class:`~repro.exec.frames.JobResult`; exceptions
+            it raises abort the job.
 
         Raises
         ------
@@ -440,138 +147,46 @@ class RenderFarm:
             index and scene name (with the worker-side traceback for pool
             failures) instead of a raw pool traceback.
 
-        The job's quality tier is applied to the base scene before any frame
-        renders: LOD level ``job.lod`` prunes by importance, then tier
-        ``job.quant`` round-trips the pruned scene through the quantized
-        codec.  On the pool path the *encoded* payload is what ships to the
-        workers (``ship_bytes`` in the result records its on-disk size);
-        decoding is deterministic, so pool frames stay bitwise identical to
-        the sequential fallback at every tier, and the lossless tier stays
-        bitwise identical to the legacy pipeline.
+        The job's quality tier is applied to the base scene before any
+        frame renders: LOD level ``job.lod`` prunes by importance, then
+        tier ``job.quant`` round-trips the pruned scene through the
+        quantized codec.  On the pool path the *encoded* payload is what
+        ships to the workers (``ship_bytes`` in the result records its
+        on-disk size); decoding is deterministic, so pool frames stay
+        bitwise identical to the sequential fallback at every tier, and
+        the lossless tier stays bitwise identical to the legacy pipeline.
         """
-        preset = job.preset()
-        tier = quant_spec(job.quant)
-        sequential = self.num_workers <= 1 or job.num_frames <= 1
-        if scene is not None:
-            # Caller-supplied scene: the farm applies the tier itself.
-            lod_scene = select_lod(scene, job.lod)
-            render_scene = roundtrip_scene(lod_scene, tier) if sequential else None
-        elif preset.store is not None:
-            # Store-backed preset: let the SceneStore prepare (and cache)
-            # the tier, honouring the store's own lod_ratio — repeated jobs
-            # at one tier reuse the pruned/decoded scenes.
-            from repro.store.store import default_store
+        from repro.exec.executor import RenderExecutor
 
-            store = default_store()
-            lod_scene = store.get(preset.store, lod=job.lod)
-            render_scene = (
-                store.get(preset.store, lod=job.lod, quant=job.quant)
-                if sequential
-                else None
-            )
-        else:
-            lod_scene = select_lod(
-                make_scene(preset.name, scale=preset.scale), job.lod
-            )
-            render_scene = roundtrip_scene(lod_scene, tier) if sequential else None
-        cameras = job.cameras()
-        spec = FrameSpec.for_job(job)
-        tasks = list(enumerate(cameras))
+        if self.executor is not None:
+            return self.executor.submit(job, scene=scene, on_frame=on_frame).result()
+        if self.num_workers <= 1 or job.num_frames <= 1:
+            transient = RenderExecutor(num_workers=0, scene_format=self.scene_format)
+            return transient.submit(job, scene=scene, on_frame=on_frame).result()
+        with RenderExecutor(
+            # A transient pool serves exactly this job, so never spawn more
+            # workers than it has frames (matching the pre-executor farm).
+            num_workers=min(self.num_workers, job.num_frames),
+            mp_context=self.mp_context,
+            scene_format=self.scene_format,
+        ) as transient:
+            return transient.submit(job, scene=scene, on_frame=on_frame).result()
 
-        start = time.perf_counter()
-        ship_bytes = 0
-        if sequential:
-            # Sequential path renders the decoded tier in-process; the pool
-            # path ships the encoded payload instead and lets each worker
-            # decode it once (the same deterministic decode, so both paths
-            # render identical bits).
-            frames = []
-            for task in tasks:
-                try:
-                    record = _render_one(render_scene, task, spec)
-                except Exception as exc:
-                    raise FrameRenderError(job.scene, task[0], repr(exc)) from exc
-                if on_frame is not None:
-                    on_frame(record)
-                frames.append(record)
-            effective_workers = 0
-        else:
-            frames, ship_bytes = self._run_pool(
-                lod_scene, tasks, spec, tier, job.scene, on_frame
-            )
-            effective_workers = min(self.num_workers, len(tasks))
-        wall = time.perf_counter() - start
-
-        frames.sort(key=lambda record: record.index)
-        return JobResult(
-            job=job,
-            spec=spec,
-            frames=frames,
-            num_workers=effective_workers,
-            wall_seconds=wall,
-            num_gaussians=lod_scene.num_gaussians,
-            ship_bytes=ship_bytes,
-        )
-
-    def _run_pool(
+    def submit(
         self,
-        scene: GaussianScene,
-        tasks: list[tuple[int, Camera]],
-        spec: FrameSpec,
-        tier,
-        scene_name: str,
+        job,
+        scene: GaussianScene | None = None,
         on_frame: Optional[FrameCallback] = None,
-    ) -> tuple[list[FrameRecord], int]:
-        """Ship ``scene`` (encoded when the tier is lossy) and map the tasks.
+    ) -> JobHandle:
+        """Submit ``job`` to the shared executor without blocking.
 
-        Frames stream back in completion order (``imap_unordered``), firing
-        ``on_frame`` as they land; a worker failure aborts the job with a
-        :class:`FrameRenderError`.  Returns the frame records plus the
-        on-disk byte size of the shipped scene payload.
+        Only available on a farm constructed with a shared ``executor``
+        (a transient per-job pool has nobody to keep it alive across a
+        non-blocking call).
         """
-        import multiprocessing
-
-        context = multiprocessing.get_context(self.mp_context)
-        workers = min(self.num_workers, len(tasks))
-        if tier.is_lossless:
-            ship_format = self.scene_format
-            saver = _SCENE_SAVERS[self.scene_format]
-        else:
-            ship_format = "store"
-            saver = lambda s, p: save_scene_store(s, p, tier)  # noqa: E731
-        suffix = ".txt" if ship_format == "text" else ".npz"
-        with tempfile.TemporaryDirectory(prefix="repro-farm-") as tmp:
-            scene_path = Path(tmp) / f"scene{suffix}"
-            saver(scene, scene_path)
-            ship_bytes = scene_path.stat().st_size
-            frames: list[FrameRecord] = []
-            with context.Pool(
-                processes=workers,
-                initializer=_worker_init,
-                initargs=(str(scene_path), ship_format, spec),
-            ) as pool:
-                for record in pool.imap_unordered(_worker_render, tasks, chunksize=1):
-                    if isinstance(record, _WorkerFailure):
-                        raise FrameRenderError(
-                            scene_name,
-                            record.index,
-                            f"{record.error}\n--- worker traceback ---\n"
-                            f"{record.traceback}",
-                        )
-                    if on_frame is not None:
-                        on_frame(record)
-                    frames.append(record)
-            return frames, ship_bytes
-
-
-def _render_one(
-    scene: GaussianScene, task: tuple[int, Camera], spec: FrameSpec
-) -> FrameRecord:
-    """Render and time one frame — the unit of work on every scheduling path."""
-    index, camera = task
-    start = time.perf_counter()
-    result = render_frame(scene, camera, spec)
-    elapsed_ms = (time.perf_counter() - start) * 1000.0
-    return FrameRecord(
-        index=index, image=result.image, stats=result.stats, render_ms=elapsed_ms
-    )
+        if self.executor is None:
+            raise RuntimeError(
+                "submit() needs a shared executor; construct the farm with "
+                "RenderFarm(executor=...) or call run() for blocking execution"
+            )
+        return self.executor.submit(job, scene=scene, on_frame=on_frame)

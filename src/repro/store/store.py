@@ -24,6 +24,7 @@ file-backed scenes exactly as for the synthetic zoo.
 
 from __future__ import annotations
 
+import threading
 import zipfile
 from pathlib import Path
 from typing import Callable, Iterable
@@ -174,6 +175,12 @@ class SceneStore:
 # ----------------------------------------------------------------------
 _DEFAULT_STORE: SceneStore | None = None
 
+#: Guards lazy creation of the process-wide store: the executor's
+#: dispatcher thread (streaming frame callbacks), a scheduler thread and
+#: the main thread may all resolve scenes concurrently, and two racing
+#: first calls would otherwise build two zoos and cache into the loser.
+_DEFAULT_STORE_LOCK = threading.Lock()
+
 
 def _zoo_scale(name: str) -> float:
     """Generation scale of a zoo entry: the evaluation preset's scale."""
@@ -194,20 +201,27 @@ def _zoo_factory(name: str) -> Callable[[], GaussianScene]:
 
 
 def default_store() -> SceneStore:
-    """The process-wide store, created on first use with the synthetic zoo."""
+    """The process-wide store, created on first use with the synthetic zoo.
+
+    Thread-safe: concurrent first calls (e.g. the executor's dispatcher
+    thread racing the main thread) build exactly one store.
+    """
     global _DEFAULT_STORE
     if _DEFAULT_STORE is None:
-        store = SceneStore()
-        for name in SCENE_SPECS:
-            store.register(name, _zoo_factory(name))
-        _DEFAULT_STORE = store
+        with _DEFAULT_STORE_LOCK:
+            if _DEFAULT_STORE is None:
+                store = SceneStore()
+                for name in SCENE_SPECS:
+                    store.register(name, _zoo_factory(name))
+                _DEFAULT_STORE = store
     return _DEFAULT_STORE
 
 
 def reset_default_store() -> None:
     """Forget the process-wide store (tests; next use rebuilds the zoo)."""
     global _DEFAULT_STORE
-    _DEFAULT_STORE = None
+    with _DEFAULT_STORE_LOCK:
+        _DEFAULT_STORE = None
 
 
 # ----------------------------------------------------------------------

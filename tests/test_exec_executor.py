@@ -1,0 +1,259 @@
+"""Persistent executor: concurrency, residency, crash recovery, facade.
+
+The heavyweight throughput claim (warm-pool repeats >= 2x the cold
+per-job-pool path) lives in ``benchmarks/bench_exec_residency.py``; here we
+verify correctness on tiny jobs: concurrent mixed-tier jobs stay bitwise
+identical to the sequential path, scene tiers ship at most once per worker,
+a killed worker is replaced and its frame surfaces as
+:class:`FrameRenderError`, and the farm facade delegates faithfully.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.exec import RenderExecutor
+from repro.exec.frames import FrameRenderError
+from repro.exec.worker import CRASH_ENV
+from repro.serve.farm import RenderFarm
+from repro.serve.trajectories import RenderJob, make_trajectory
+
+
+def _assert_stats_equal(a, b) -> None:
+    assert type(a) is type(b)
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb), f.name
+        else:
+            assert va == vb, f.name
+
+
+def quick_job(num_frames: int = 3, **kwargs) -> RenderJob:
+    return RenderJob(
+        "train", make_trajectory("orbit", num_frames=num_frames), quick=True, **kwargs
+    )
+
+
+class TestValidation:
+    def test_negative_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            RenderExecutor(num_workers=-1)
+
+    def test_unknown_scene_format_rejected(self):
+        with pytest.raises(ValueError):
+            RenderExecutor(scene_format="yaml")
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(worker_cache_size=0), dict(resident_cache_size=0)]
+    )
+    def test_nonpositive_cache_sizes_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RenderExecutor(**kwargs)
+
+    def test_submit_after_shutdown_rejected(self):
+        executor = RenderExecutor(num_workers=0)
+        executor.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            executor.submit(quick_job())
+
+
+class TestSequentialMode:
+    def test_matches_farm_sequential_bitwise(self):
+        farm = RenderFarm(num_workers=0).run(quick_job())
+        with RenderExecutor(num_workers=0) as executor:
+            result = executor.submit(quick_job()).result()
+        assert result.num_workers == 0
+        assert result.ship_bytes == 0
+        for a, b in zip(farm.frames, result.frames):
+            assert np.array_equal(a.image, b.image)
+            _assert_stats_equal(a.stats, b.stats)
+
+    def test_resident_cache_makes_repeats_warm(self):
+        with RenderExecutor(num_workers=0) as executor:
+            cold = executor.submit(quick_job()).result()
+            warm = executor.submit(quick_job()).result()
+        assert cold.cache_misses == 1 and cold.cache_hits == 0
+        assert warm.cache_hits == 1 and warm.cache_misses == 0
+        assert warm.warm and not cold.warm
+        assert executor.stats.cache_hits == 1
+        assert executor.stats.frames_rendered == 6
+
+    def test_streams_frames_in_index_order(self):
+        seen: list[int] = []
+        with RenderExecutor(num_workers=0) as executor:
+            executor.submit(quick_job(), on_frame=lambda r: seen.append(r.index)).result()
+        assert seen == [0, 1, 2]
+
+    def test_frame_failure_carries_index_scene_and_cause(self, monkeypatch):
+        import repro.exec.frames as frames_module
+
+        def explode(scene, camera, spec):
+            raise ValueError("synthetic kernel failure")
+
+        monkeypatch.setattr(frames_module, "render_frame", explode)
+        handle = RenderExecutor(num_workers=0).submit(quick_job())
+        with pytest.raises(FrameRenderError) as excinfo:
+            handle.result()
+        assert excinfo.value.frame_index == 0
+        assert excinfo.value.scene == "train"
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert excinfo.value is handle._error  # failure is sticky on the handle
+
+
+class TestConcurrentDispatch:
+    def test_two_concurrent_mixed_tier_jobs_bitwise_identical(self):
+        """The acceptance-criteria check: 2 jobs at mixed (lod, quant)
+        tiers dispatched concurrently onto one 2-worker executor produce
+        exactly the sequential path's bits — images and stats counters."""
+        lossless = quick_job(3)
+        compact = quick_job(3, lod=1, quant="compact")
+        with RenderExecutor(num_workers=2) as executor:
+            handles = [executor.submit(lossless), executor.submit(compact)]
+            pooled = [handle.result(timeout=300) for handle in handles]
+        for job, result in zip((lossless, compact), pooled):
+            expected = RenderFarm(num_workers=0).run(job)
+            assert [f.index for f in result.frames] == [0, 1, 2]
+            for a, b in zip(expected.frames, result.frames):
+                assert np.array_equal(a.image, b.image)
+                _assert_stats_equal(a.stats, b.stats)
+            assert expected.aggregate_counters() == result.aggregate_counters()
+
+    def test_pool_streams_every_frame_once(self):
+        seen: list[int] = []
+        with RenderExecutor(num_workers=2) as executor:
+            result = executor.submit(
+                quick_job(4), on_frame=lambda r: seen.append(r.index)
+            ).result(timeout=300)
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert [f.index for f in result.frames] == [0, 1, 2, 3]
+
+    def test_summary_is_json_serialisable(self):
+        with RenderExecutor(num_workers=2) as executor:
+            summary = executor.submit(quick_job(2)).result(timeout=300).summary()
+        encoded = json.loads(json.dumps(summary))
+        assert encoded["residency"]["cache_misses"] >= 1
+        assert encoded["ship_bytes"] > 0
+
+
+class TestResidency:
+    def test_tier_ships_at_most_once_per_worker(self):
+        job = quick_job(4)
+        with RenderExecutor(num_workers=2) as executor:
+            first = executor.submit(job).result(timeout=300)
+            repeats = [executor.submit(job).result(timeout=300) for _ in range(3)]
+            stats = executor.stats
+        # The payload is encoded exactly once, and each of the two workers
+        # decodes it at most once — no matter how many jobs follow.
+        assert first.ship_bytes > 0
+        assert all(r.ship_bytes == 0 for r in repeats)
+        assert all(r.warm for r in repeats)
+        assert stats.published_payloads == 1
+        assert stats.cache_misses <= 2  # <= num_workers
+        assert stats.loaded_bytes <= 2 * first.ship_bytes
+        assert stats.cache_hits == stats.frames_rendered - stats.cache_misses
+
+    def test_distinct_tiers_publish_distinct_payloads(self):
+        with RenderExecutor(num_workers=2) as executor:
+            a = executor.submit(quick_job(2)).result(timeout=300)
+            b = executor.submit(quick_job(2, lod=1, quant="compact")).result(timeout=300)
+            assert executor.stats.published_payloads == 2
+        assert 0 < b.ship_bytes < a.ship_bytes
+
+    def test_caller_supplied_scene_never_aliases(self):
+        from repro.gaussians.synthetic import make_scene
+
+        scene = make_scene("train", scale=0.05)
+        job = quick_job(2)
+        with RenderExecutor(num_workers=2) as executor:
+            first = executor.submit(job, scene=scene).result(timeout=300)
+            second = executor.submit(job, scene=scene).result(timeout=300)
+            # ... and each payload is deleted when its job finishes, so a
+            # long-lived executor cannot leak one file per submission.
+            assert not executor._payloads
+        # Custom scenes get a unique payload per submission (no residency
+        # reuse, exactly the pre-executor per-job shipping semantics).
+        assert first.ship_bytes > 0
+        assert second.ship_bytes > 0
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_replaced_and_frame_surfaces(self, monkeypatch):
+        """Kill a worker mid-job: the frame fails as FrameRenderError with
+        index + scene, a replacement worker joins, and later jobs finish."""
+        monkeypatch.setenv(CRASH_ENV, "train:1")
+        with RenderExecutor(num_workers=2) as executor:
+            with pytest.raises(FrameRenderError) as excinfo:
+                executor.submit(quick_job(4)).result(timeout=300)
+            error = excinfo.value
+            assert error.frame_index == 1
+            assert error.scene == "train"
+            assert "worker process died" in str(error)
+
+            # The executor healed itself: full capacity, and a follow-up
+            # job (frame 0 only — the crash directive names frame 1)
+            # completes normally on the replaced pool.
+            follow_up = executor.submit(quick_job(1)).result(timeout=300)
+            assert follow_up.num_frames == 1
+            assert executor.stats.workers_replaced == 1
+            assert len(executor._workers) == 2
+
+    def test_crash_does_not_fail_other_jobs(self, monkeypatch):
+        monkeypatch.setenv(CRASH_ENV, "train:2")
+        doomed = quick_job(3)  # frame 2 exists only here
+        survivor = quick_job(2, lod=1, quant="compact")
+        expected = RenderFarm(num_workers=0).run(survivor)
+        with RenderExecutor(num_workers=2) as executor:
+            doomed_handle = executor.submit(doomed)
+            survivor_handle = executor.submit(survivor)
+            with pytest.raises(FrameRenderError):
+                doomed_handle.result(timeout=300)
+            result = survivor_handle.result(timeout=300)
+        for a, b in zip(expected.frames, result.frames):
+            assert np.array_equal(a.image, b.image)
+
+
+class TestFarmFacade:
+    def test_shared_executor_keeps_scenes_resident_across_runs(self):
+        with RenderExecutor(num_workers=2) as executor:
+            farm = RenderFarm(executor=executor)
+            assert farm.num_workers == 2
+            cold = farm.run(quick_job(2))
+            warm = farm.run(quick_job(2))
+        assert cold.ship_bytes > 0
+        assert warm.ship_bytes == 0 and warm.warm
+        for a, b in zip(cold.frames, warm.frames):
+            assert np.array_equal(a.image, b.image)
+
+    def test_farm_submit_requires_shared_executor(self):
+        with pytest.raises(RuntimeError, match="shared executor"):
+            RenderFarm(num_workers=0).submit(quick_job())
+
+    def test_farm_submit_overlaps_jobs(self):
+        with RenderExecutor(num_workers=2) as executor:
+            farm = RenderFarm(executor=executor)
+            handles = [farm.submit(quick_job(2)) for _ in range(3)]
+            results = [h.result(timeout=300) for h in handles]
+        assert all(r.num_frames == 2 for r in results)
+        assert executor.stats.jobs_completed == 3
+
+
+class TestShutdown:
+    def test_shutdown_is_idempotent(self):
+        executor = RenderExecutor(num_workers=2)
+        executor.submit(quick_job(2)).result(timeout=300)
+        executor.shutdown()
+        executor.shutdown()
+
+    def test_nowait_shutdown_fails_unfinished_jobs(self):
+        executor = RenderExecutor(num_workers=2)
+        # Enough frames that the job cannot complete in the instants
+        # between submit and the abort below.
+        handle = executor.submit(quick_job(16))
+        executor.shutdown(wait=False)
+        with pytest.raises(RuntimeError, match="shut down"):
+            handle.result(timeout=300)

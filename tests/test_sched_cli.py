@@ -22,6 +22,7 @@ REPORT_KEYS = {
     "shed_rate",
     "latency_ms",
     "tier_histogram",
+    "dispatch",
     "decisions",
     "num_events",
     "makespan_s",

@@ -81,6 +81,58 @@ class TestServiceModel:
         assert one - four == pytest.approx(6 * frame)
 
 
+class TestDispatchWarmth:
+    """The cold/warm split of the dispatch overhead (persistent executor)."""
+
+    def test_warm_dispatch_skips_ship_cost(self):
+        from repro.store.codec import quant_spec
+
+        model = ServiceModel()
+        req = request(0, num_frames=4)
+        cold = model.job_ms(req, (0, "lossless"), workers=1, quick=False)
+        warm = model.job_ms(req, (0, "lossless"), workers=1, quick=False, warm=True)
+        frames = 4 * model.frame_ms("train", quick=False, lod=0)
+        gaussians = model.num_gaussians("train", quick=False, lod=0)
+        ship_mb = quant_spec("lossless").bytes_per_gaussian() * gaussians / 1e6
+        assert warm == pytest.approx(model.dispatch_warm_ms + frames)
+        assert cold == pytest.approx(
+            model.dispatch_cold_ms + model.ship_ms_per_mb * ship_mb + frames
+        )
+        assert warm < cold
+
+    def test_first_dispatch_cold_then_warm(self):
+        requests = [request(i, arrival_ms=1000.0 * i) for i in range(3)]
+        report = fresh_scheduler().run(requests, SPEC)
+        dispatches = [e for e in report.log.events if e["event"] == "dispatch"]
+        assert [e["warm"] for e in dispatches] == [False, True, True]
+        assert report.dispatch_counts == {"cold": 1, "warm": 2}
+        assert report.summary()["dispatch"] == {"cold": 1, "warm": 2}
+        # The warm completions finished faster in virtual time.
+        cold_outcome, *warm_outcomes = report.outcomes
+        assert all(
+            o.service_ms < cold_outcome.service_ms for o in warm_outcomes
+        )
+
+    def test_distinct_scenes_are_separately_cold(self):
+        import dataclasses as dc
+
+        requests = [
+            request(0, arrival_ms=0.0),
+            dc.replace(request(1, arrival_ms=1000.0), scene="truck"),
+            request(2, arrival_ms=2000.0),
+            dc.replace(request(3, arrival_ms=3000.0), scene="truck"),
+        ]
+        report = fresh_scheduler().run(requests, SPEC)
+        assert report.dispatch_counts == {"cold": 2, "warm": 2}
+
+    def test_warmth_resets_between_runs(self):
+        scheduler = fresh_scheduler()
+        first = scheduler.run([request(0)], SPEC)
+        second = scheduler.run([request(0)], SPEC)
+        assert first.dispatch_counts == {"cold": 1, "warm": 0}
+        assert second.dispatch_counts == {"cold": 1, "warm": 0}
+
+
 class TestVirtualScheduling:
     def test_underload_completes_everything_within_slo(self):
         # One request at a time, generous SLO: nothing queues, sheds or misses.
@@ -262,6 +314,7 @@ class TestReport:
             "shed_rate",
             "latency_ms",
             "tier_histogram",
+            "dispatch",
             "decisions",
             "num_events",
             "makespan_s",
@@ -269,6 +322,7 @@ class TestReport:
             "measured",
         }
         assert summary["measured"] is None  # virtual run has no data plane
+        assert set(summary["dispatch"]) == {"cold", "warm"}
 
     def test_request_accounting_adds_up(self, report):
         counts = report.summary()["requests"]

@@ -274,10 +274,15 @@ class TestWorkerFailureSurfacing:
 
     @pytest.fixture()
     def exploding_render(self, monkeypatch):
-        """Make frame index 1 raise inside render_frame (farm module ref)."""
-        import repro.serve.farm as farm_module
+        """Make frame index 1 raise inside render_frame.
 
-        real = farm_module.render_frame
+        Patches :mod:`repro.exec.frames` — the module whose global
+        ``_render_one`` actually resolves — so both the sequential path and
+        fork-pool workers (which inherit the patched module) see it.
+        """
+        import repro.exec.frames as frames_module
+
+        real = frames_module.render_frame
 
         def explode(scene, camera, spec):
             if explode.countdown == 0:
@@ -286,7 +291,7 @@ class TestWorkerFailureSurfacing:
             return real(scene, camera, spec)
 
         explode.countdown = 1
-        monkeypatch.setattr(farm_module, "render_frame", explode)
+        monkeypatch.setattr(frames_module, "render_frame", explode)
         return explode
 
     def test_sequential_failure_names_frame_and_scene(
