@@ -117,9 +117,10 @@ def _format_report(result: dict) -> str:
     return "\n".join(lines)
 
 
-def test_engine_speed_and_equivalence(benchmark, save_report):
+def test_engine_speed_and_equivalence(benchmark, save_report, save_json):
     result = run_once(benchmark, measure_engine_speed)
     save_report("engine_speed", _format_report(result))
+    save_json("engine_speed", result)
 
     # Equivalence: exact statistics, images within 1e-9.
     assert result["tile_stats_mismatches"] == []

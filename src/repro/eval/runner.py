@@ -135,6 +135,7 @@ def run_tilewise(
     tile_size: int = 16,
     backend: str = "vectorized",
     obb_subtile_skip: bool = True,
+    dtype: str = "float64",
 ) -> TileWiseResult:
     """Standard-dataflow render of a setup (cached).
 
@@ -143,7 +144,10 @@ def run_tilewise(
     built on this function is backend-independent.  ``obb_subtile_skip``
     toggles GSCore's OBB subtile test in the alpha-evaluation accounting
     (the image is unaffected) and is part of the cache key, so calls with
-    different settings never alias.
+    different settings never alias.  ``dtype`` selects the floating-point
+    engine mode (:data:`repro.render.common.DTYPES`) and is likewise part
+    of the cache key — a float32 fast-path render must never alias the
+    float64 artefact the accuracy experiments treat as the oracle.
     """
 
     def build():
@@ -153,10 +157,13 @@ def run_tilewise(
             backend=backend,
             tile_size=tile_size,
             obb_subtile_skip=obb_subtile_skip,
+            dtype=dtype,
         )
         return render_frame(scene, camera, spec)
 
-    return _cached(("tilewise", setup, tile_size, backend, obb_subtile_skip), build)
+    return _cached(
+        ("tilewise", setup, tile_size, backend, obb_subtile_skip, dtype), build
+    )
 
 
 def run_gaussianwise(

@@ -55,7 +55,11 @@ from repro.exec.frames import (
     FrameRenderError,
     FrameSpec,
     JobResult,
-    _render_one,
+    ShardRecord,
+    ShardSpec,
+    _render_frame_task,
+    merge_shard_records,
+    plan_shards,
     usable_cpu_count,
 )
 from repro.exec.payload import (
@@ -208,13 +212,20 @@ class JobHandle:
 
 @dataclass
 class _FrameTask:
-    """One pending frame: which job, which camera, which payload."""
+    """One pending work unit: which job, which camera, which payload.
+
+    ``shard`` is ``None`` for a whole-frame unit; a sharded frame enqueues
+    one task per :class:`~repro.exec.frames.ShardSpec`, all carrying the
+    same frame ``index``, and the parent composites the shard partials
+    before the frame is delivered.
+    """
 
     job_id: int
     index: int
     camera: object
     spec: FrameSpec
     ref: SceneRef
+    shard: ShardSpec | None = None
 
 
 @dataclass
@@ -290,6 +301,8 @@ class RenderExecutor:
         self._resident_cache_size = resident_cache_size
         self._payloads: dict[tuple, SceneRef] = {}
         self._pending: deque[_FrameTask] = deque()
+        #: Shard partials awaiting siblings, keyed by (job_id, frame index).
+        self._shard_parts: dict[tuple[int, int], list[ShardRecord]] = {}
         self._handles: dict[int, JobHandle] = {}
         self._workers: dict[int, _WorkerSlot] = {}
         self._job_seq = itertools.count()
@@ -421,9 +434,13 @@ class RenderExecutor:
                 else:
                     handle.cache_misses += 1
                     self.stats.cache_misses += 1
+            # A sharded job renders each frame as shard partials merged by
+            # the same compositor as the pool path, so sequential output is
+            # the bitwise oracle at every shard count, not just shards=1.
+            num_shards = getattr(job, "shards", 1)
             for task in enumerate(job.cameras()):
                 try:
-                    record = _render_one(render_scene, task, spec)
+                    record = _render_frame_task(render_scene, task, spec, num_shards)
                 except Exception as exc:
                     error = FrameRenderError(job.scene, task[0], repr(exc))
                     error.__cause__ = exc
@@ -448,8 +465,10 @@ class RenderExecutor:
     def _submit_pool(self, job, scene, on_frame) -> JobHandle:
         spec = FrameSpec.for_job(job)
         cameras = job.cameras()
+        num_shards = getattr(job, "shards", 1)
+        work_units = len(cameras) * max(num_shards, 1)
         handle = JobHandle(
-            job, spec, len(cameras), min(self.num_workers, len(cameras)), on_frame
+            job, spec, len(cameras), min(self.num_workers, work_units), on_frame
         )
         lod_scene = resolve_lod_scene(job, scene)
         handle.num_gaussians = lod_scene.num_gaussians
@@ -468,7 +487,16 @@ class RenderExecutor:
             job_id = next(self._job_seq)
             self._handles[job_id] = handle
             for index, camera in enumerate(cameras):
-                self._pending.append(_FrameTask(job_id, index, camera, spec, ref))
+                if num_shards > 1:
+                    # One task per tile-range shard; partials reassemble in
+                    # _handle_message before the frame is delivered, so the
+                    # shards of one frame spread across free worker slots.
+                    for shard in plan_shards(camera, spec, num_shards):
+                        self._pending.append(
+                            _FrameTask(job_id, index, camera, spec, ref, shard)
+                        )
+                else:
+                    self._pending.append(_FrameTask(job_id, index, camera, spec, ref))
         return handle
 
     def _publish(self, job, lod_scene, custom: bool) -> tuple[SceneRef, bool]:
@@ -562,6 +590,7 @@ class RenderExecutor:
                             task.camera,
                             task.spec,
                             task.ref,
+                            task.shard,
                         )
                     )
                 except (BrokenPipeError, OSError):
@@ -586,7 +615,6 @@ class RenderExecutor:
             _, _, job_id, record, hit, loaded = message
             with self._lock:
                 slot.inflight = None
-                self.stats.frames_rendered += 1
                 if hit:
                     self.stats.cache_hits += 1
                 else:
@@ -599,6 +627,20 @@ class RenderExecutor:
                     else:
                         handle.cache_misses += 1
                         handle.loaded_bytes += loaded
+                if isinstance(record, ShardRecord):
+                    if handle is None:  # job already failed; drop the partial
+                        return
+                    # Bank the shard partial; the frame is delivered only
+                    # once every sibling has arrived and the compositor has
+                    # reassembled the whole-frame record.
+                    parts_key = (job_id, record.index)
+                    parts = self._shard_parts.setdefault(parts_key, [])
+                    parts.append(record)
+                    if len(parts) < record.shard.num_shards:
+                        return
+                    del self._shard_parts[parts_key]
+                    record = merge_shard_records(parts)
+                self.stats.frames_rendered += 1
             if handle is None:  # job already failed; drop the late frame
                 return
             # Deliver outside the lock: on_frame is user code — run under
@@ -636,6 +678,8 @@ class RenderExecutor:
         if handle is None:
             return
         self._pending = deque(t for t in self._pending if t.job_id != job_id)
+        for parts_key in [k for k in self._shard_parts if k[0] == job_id]:
+            del self._shard_parts[parts_key]
         handle._fail(error)
         self.stats.jobs_failed += 1
         self._release_custom_payload(handle)

@@ -33,9 +33,15 @@ import numpy as np
 
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianScene
-from repro.render.common import RenderConfig
+from repro.render.common import DTYPES, RenderConfig
 from repro.render.gaussian_raster import GaussianWiseResult, render_gaussianwise
-from repro.render.tile_raster import TileWiseResult, render_tilewise
+from repro.render.kernels import shard_intervals
+from repro.render.tile_raster import (
+    TileWiseResult,
+    compose_tile_shards,
+    frame_tile_count,
+    render_tilewise,
+)
 
 FrameResult = Union[TileWiseResult, GaussianWiseResult]
 
@@ -95,6 +101,11 @@ class FrameSpec:
     #: worker holding a decoded scene renders it exactly as a lossless one.
     lod: int = 0
     quant: str = "lossless"
+    #: Floating-point engine mode (``repro.render.common.DTYPES``).  Unlike
+    #: ``lod``/``quant`` this *is* a render parameter — it changes the bits
+    #: of the output image — so it participates in every cache key that
+    #: distinguishes rendered results (see ``repro.eval.runner``).
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         # Lazy tier lookup: importing repro.store at module level here would
@@ -107,6 +118,13 @@ class FrameSpec:
             raise ValueError("lod must be non-negative")
         if self.quant not in QUANT_SPECS:
             raise ValueError(f"quant must be one of {sorted(QUANT_SPECS)}")
+        if self.dtype not in DTYPES:
+            raise ValueError(f"dtype must be one of {DTYPES}")
+        if self.dataflow == "gaussianwise" and self.dtype != "float64":
+            raise ValueError(
+                "the gaussianwise dataflow only supports dtype='float64'; "
+                "the float32 engine mode is a tile-wise fast path"
+            )
 
     @classmethod
     def for_job(cls, job: RenderJob, **overrides) -> "FrameSpec":
@@ -116,24 +134,84 @@ class FrameSpec:
             backend=job.backend,
             lod=job.lod,
             quant=job.quant,
+            dtype=job.dtype,
             **overrides,
         )
 
 
-def render_frame(scene: GaussianScene, camera: Camera, spec: FrameSpec) -> FrameResult:
-    """Render one frame of ``scene`` from ``camera`` under ``spec``.
+@dataclass(frozen=True)
+class ShardSpec:
+    """One tile-range shard of a frame: which slice of the tile grid it owns.
+
+    ``index`` is the shard's position among its frame's ``num_shards``
+    siblings and ``[tile_lo, tile_hi)`` its half-open row-major tile-id
+    interval.  A :class:`ShardSpec` is pure routing data — it never changes
+    *what* is rendered, only which worker renders which tiles — which is why
+    sharding is absent from :class:`FrameSpec` and from every result cache
+    key.
+    """
+
+    index: int
+    num_shards: int
+    tile_lo: int
+    tile_hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.num_shards:
+            raise ValueError("shard index out of range")
+        if self.tile_lo > self.tile_hi:
+            raise ValueError("tile_lo must not exceed tile_hi")
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        return (self.tile_lo, self.tile_hi)
+
+
+def plan_shards(camera: Camera, spec: FrameSpec, num_shards: int) -> list[ShardSpec]:
+    """Partition ``camera``'s tile grid into ``num_shards`` shard specs.
+
+    Only the tile-wise dataflow shards (Gaussian-wise blending is not
+    per-tile, so no exact compositor exists for it).
+    """
+    if spec.dataflow != "tilewise":
+        raise ValueError("only the tilewise dataflow supports tile-range sharding")
+    num_tiles = frame_tile_count(camera.width, camera.height, spec.tile_size)
+    return [
+        ShardSpec(index=i, num_shards=num_shards, tile_lo=lo, tile_hi=hi)
+        for i, (lo, hi) in enumerate(shard_intervals(num_tiles, num_shards))
+    ]
+
+
+def render_frame(
+    scene: GaussianScene,
+    camera: Camera,
+    spec: FrameSpec,
+    tile_shard: tuple[int, int] | None = None,
+) -> FrameResult:
+    """Render one frame (or one tile-range shard) under ``spec``.
 
     This is the single-frame primitive shared by the evaluation runner, the
     render farm and the executor workers; both dataflows construct their
-    :class:`RenderConfig` here and nowhere else.
+    :class:`RenderConfig` here and nowhere else.  ``tile_shard`` restricts
+    the tile-wise pipeline to a half-open tile-id interval (see
+    :func:`repro.render.tile_raster.render_tilewise`).
     """
     if spec.dataflow == "tilewise":
         config = RenderConfig(
-            tile_size=spec.tile_size, radius_rule="3sigma", backend=spec.backend
+            tile_size=spec.tile_size,
+            radius_rule="3sigma",
+            backend=spec.backend,
+            dtype=spec.dtype,
         )
         return render_tilewise(
-            scene, camera, config, obb_subtile_skip=spec.obb_subtile_skip
+            scene,
+            camera,
+            config,
+            obb_subtile_skip=spec.obb_subtile_skip,
+            tile_shard=tile_shard,
         )
+    if tile_shard is not None:
+        raise ValueError("tile_shard is only supported by the tilewise dataflow")
     config = RenderConfig(
         radius_rule="omega-sigma", block_size=spec.block_size, backend=spec.backend
     )
@@ -287,6 +365,8 @@ class JobResult:
             "backend": self.spec.backend,
             "lod": self.spec.lod,
             "quant": self.spec.quant,
+            "dtype": self.spec.dtype,
+            "shards": getattr(self.job, "shards", 1),
             "num_gaussians": self.num_gaussians,
             "ship_bytes": self.ship_bytes,
             "residency": {
@@ -320,3 +400,90 @@ def _render_one(
     return FrameRecord(
         index=index, image=result.image, stats=result.stats, render_ms=elapsed_ms
     )
+
+
+@dataclass
+class ShardRecord:
+    """One rendered tile-range shard of a frame — the pool's partial result.
+
+    Pickle-safe (image + stats + routing data only; the projected arrays
+    never cross back over the process boundary).  ``num_shards`` sibling
+    records merge into one :class:`FrameRecord` via
+    :func:`merge_shard_records`.
+    """
+
+    index: int
+    shard: ShardSpec
+    image: np.ndarray
+    stats: object
+    render_ms: float
+
+
+def _render_one_shard(
+    scene: GaussianScene,
+    task: tuple[int, Camera],
+    spec: FrameSpec,
+    shard: ShardSpec,
+) -> ShardRecord:
+    """Render and time one tile-range shard of a frame."""
+    index, camera = task
+    start = time.perf_counter()
+    result = render_frame(scene, camera, spec, tile_shard=shard.interval)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return ShardRecord(
+        index=index,
+        shard=shard,
+        image=result.image,
+        stats=result.stats,
+        render_ms=elapsed_ms,
+    )
+
+
+def merge_shard_records(records: list[ShardRecord]) -> FrameRecord:
+    """Compose a frame's shard records into its whole-frame record.
+
+    Pure and exact: image and statistics counters are bitwise identical to
+    an unsharded render (see
+    :func:`repro.render.tile_raster.compose_tile_shards`).  ``render_ms``
+    is the *maximum* shard time — the frame's critical path when shards run
+    on parallel workers — so per-frame latency percentiles report what a
+    caller actually waited.
+    """
+    if not records:
+        raise ValueError("merge_shard_records needs at least one shard record")
+    index = records[0].index
+    if any(r.index != index for r in records):
+        raise ValueError("shard records belong to different frames")
+    partials = [
+        TileWiseResult(
+            image=r.image, stats=r.stats, projected=None, tile_shard=r.shard.interval
+        )
+        for r in records
+    ]
+    merged = compose_tile_shards(partials)
+    return FrameRecord(
+        index=index,
+        image=merged.image,
+        stats=merged.stats,
+        render_ms=max(r.render_ms for r in records),
+    )
+
+
+def _render_frame_task(
+    scene: GaussianScene,
+    task: tuple[int, Camera],
+    spec: FrameSpec,
+    num_shards: int = 1,
+) -> FrameRecord:
+    """Render one frame, sharded in-process when ``num_shards > 1``.
+
+    The sequential executor path uses this so that a sharded job exercises
+    exactly the same shard render + compositor code as the worker pool —
+    which is what keeps pool output bitwise comparable to the sequential
+    oracle at any shard count.
+    """
+    if num_shards <= 1:
+        return _render_one(scene, task, spec)
+    shards = plan_shards(task[1], spec, num_shards)
+    records = [_render_one_shard(scene, task, spec, shard) for shard in shards]
+    return merge_shard_records(records)

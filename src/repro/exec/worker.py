@@ -31,10 +31,15 @@ simply re-loaded on next touch (and counted as a fresh miss).
 Messages (all plain tuples, pickle-friendly):
 
 * parent -> worker: ``("task", job_id, frame_index, camera, spec,
-  scene_ref)`` or ``("stop",)``;
-* worker -> parent: ``("ok", worker_id, job_id, FrameRecord, hit,
-  loaded_bytes)`` or ``("err", worker_id, job_id, frame_index,
-  error_repr, traceback_str)``.
+  scene_ref, shard)`` — ``shard`` is a
+  :class:`~repro.exec.frames.ShardSpec` for a tile-range shard of the
+  frame, or ``None`` for a whole frame — or ``("stop",)``;
+* worker -> parent: ``("ok", worker_id, job_id, record, hit,
+  loaded_bytes)`` where ``record`` is a
+  :class:`~repro.exec.frames.FrameRecord` (whole frame) or a
+  :class:`~repro.exec.frames.ShardRecord` (shard partial, merged by the
+  parent), or ``("err", worker_id, job_id, frame_index, error_repr,
+  traceback_str)``.
 
 Exceptions inside a frame surface as ``"err"`` tuples rather than killing
 the worker.
@@ -46,7 +51,7 @@ import os
 import traceback
 from collections import OrderedDict
 
-from repro.exec.frames import _render_one
+from repro.exec.frames import _render_one, _render_one_shard
 from repro.gaussians.io import load_scene_npz, load_scene_text
 from repro.store.codec import load_scene_store
 
@@ -88,7 +93,7 @@ def worker_main(worker_id: int, conn, cache_size: int) -> None:
             return
         if message[0] == "stop":
             return
-        _, job_id, index, camera, spec, ref = message
+        _, job_id, index, camera, spec, ref, shard = message
         if _crash_requested(ref.key[0], index):  # pragma: no cover - exits
             os._exit(_CRASH_EXIT_CODE)
         try:
@@ -103,7 +108,10 @@ def worker_main(worker_id: int, conn, cache_size: int) -> None:
                     cache.popitem(last=False)
             else:
                 cache.move_to_end(ref.key)
-            record = _render_one(scene, (index, camera), spec)
+            if shard is None:
+                record = _render_one(scene, (index, camera), spec)
+            else:
+                record = _render_one_shard(scene, (index, camera), spec, shard)
         except Exception as exc:
             conn.send(
                 ("err", worker_id, job_id, index, repr(exc), traceback.format_exc())

@@ -178,9 +178,13 @@ def mahalanobis_sq(conic: np.ndarray, dx: np.ndarray, dy: np.ndarray) -> np.ndar
     """Squared Mahalanobis distance ``d^T Sigma'^{-1} d`` from packed conics.
 
     ``conic`` has shape ``(..., 3)`` and ``dx``/``dy`` broadcast against its
-    leading dimensions.
+    leading dimensions.  Floating conics keep their dtype (the float32
+    engine mode evaluates in single precision); anything else is promoted
+    to float64 as before.
     """
-    conic = np.asarray(conic, dtype=np.float64)
+    conic = np.asarray(conic)
+    if not np.issubdtype(conic.dtype, np.floating):
+        conic = conic.astype(np.float64)
     a = conic[..., 0]
     b = conic[..., 1]
     c = conic[..., 2]

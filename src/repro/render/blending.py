@@ -94,6 +94,10 @@ def finalize_image(
     transmittance: np.ndarray,
     background: tuple[float, float, float],
 ) -> np.ndarray:
-    """Composite the accumulated colour over the background colour."""
-    background_arr = np.asarray(background, dtype=np.float64)
+    """Composite the accumulated colour over the background colour.
+
+    The background is cast to the accumulator dtype so the float32 engine
+    mode stays in single precision end to end.
+    """
+    background_arr = np.asarray(background, dtype=color_accum.dtype)
     return color_accum + transmittance[..., None] * background_arr

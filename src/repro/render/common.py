@@ -26,6 +26,13 @@ BLOCK_SIZE = 8
 #: The rasterisation engines every renderer can run on.
 BACKENDS: tuple[str, ...] = ("vectorized", "reference")
 
+#: Floating-point modes the tile-wise engine can compute in.  ``"float64"``
+#: is the historical default with the bitwise backend-equivalence contract;
+#: ``"float32"`` is the fast path: alpha evaluation and blending run in
+#: single precision (counters stay integer-identical across backends, images
+#: are held to a PSNR floor against the float64 oracle instead of bitwise).
+DTYPES: tuple[str, ...] = ("float64", "float32")
+
 
 @dataclass(frozen=True)
 class RenderConfig:
@@ -62,6 +69,14 @@ class RenderConfig:
         original per-Gaussian/per-block Python loops.  The two backends
         produce identical statistics counters and images equal to
         ``atol=1e-9``.
+    dtype:
+        Floating-point mode of the tile-wise rendering stage, one of
+        :data:`DTYPES`.  Projection, depth sorting and tile assignment
+        always run in float64 (so the pair stream — and therefore every
+        statistics counter — is independent of the mode); ``"float32"``
+        switches the per-pixel alpha/blending arithmetic and the image
+        accumulators to single precision.  The Gaussian-wise dataflow only
+        supports ``"float64"``.
     """
 
     tile_size: int = TILE_SIZE
@@ -75,10 +90,13 @@ class RenderConfig:
     group_capacity: int = 256
     background: tuple[float, float, float] = (0.0, 0.0, 0.0)
     backend: str = "vectorized"
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.dtype not in DTYPES:
+            raise ValueError(f"dtype must be one of {DTYPES}")
         if self.tile_size <= 0 or self.block_size <= 0:
             raise ValueError("tile_size and block_size must be positive")
         if not 0.0 < self.alpha_min < self.alpha_max <= 1.0:

@@ -51,6 +51,40 @@ TILE_CHUNK = 256
 # ----------------------------------------------------------------------
 # Tile-wise (standard dataflow) kernels
 # ----------------------------------------------------------------------
+def shard_intervals(num_tiles: int, num_shards: int) -> list[tuple[int, int]]:
+    """Split the tile-id range ``[0, num_tiles)`` into contiguous shards.
+
+    Returns exactly ``num_shards`` half-open ``(lo, hi)`` intervals that
+    partition ``[0, num_tiles)`` in order, each of size
+    ``floor(num_tiles / num_shards)`` or one more.  When ``num_shards``
+    exceeds ``num_tiles`` the trailing intervals are empty — rendering an
+    empty shard is a no-op and the compositor ignores it, so any shard
+    count is valid.
+    """
+    if num_tiles < 0:
+        raise ValueError("num_tiles must be non-negative")
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    bounds = [(i * num_tiles) // num_shards for i in range(num_shards + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(num_shards)]
+
+
+def tile_interval_slice(tile_ids: np.ndarray, lo: int, hi: int) -> slice:
+    """Slice of a tile-id-sorted array whose ids lie in ``[lo, hi)``.
+
+    ``tile_ids`` must be sorted ascending (the (tile, depth) radix sort of
+    the standard pipeline guarantees this for the pair stream, and
+    ``np.unique`` for the occupied-tile list), so a shard's pairs are one
+    contiguous slice recovered by binary search — the tile-range entry
+    point of the kernels layer.
+    """
+    if lo > hi:
+        raise ValueError(f"empty-ordered tile interval: [{lo}, {hi})")
+    start = int(np.searchsorted(tile_ids, lo, side="left"))
+    stop = int(np.searchsorted(tile_ids, hi, side="left"))
+    return slice(start, stop)
+
+
 def batched_tile_alpha(
     means2d: np.ndarray,
     conics: np.ndarray,
@@ -67,9 +101,11 @@ def batched_tile_alpha(
     Returns ``(alpha, maha)`` of shape ``(K, y1 - y0, x1 - x0)``.  The
     elementwise operations match :func:`repro.render.blending.compute_alpha`
     exactly, so the values are bitwise-identical to the reference loop.
+    The pixel grid inherits the dtype of ``means2d``, keeping the float32
+    engine mode in single precision without a separate kernel.
     """
-    xs = np.arange(x0, x1, dtype=np.float64)
-    ys = np.arange(y0, y1, dtype=np.float64)
+    xs = np.arange(x0, x1, dtype=means2d.dtype)
+    ys = np.arange(y0, y1, dtype=means2d.dtype)
     dx = xs[None, None, :] - means2d[:, 0, None, None]
     dy = ys[None, :, None] - means2d[:, 1, None, None]
     maha = mahalanobis_sq(conics[:, None, None, :], dx, dy)
@@ -115,7 +151,7 @@ def sequential_blend(
     because the sequence is non-increasing.
     """
     num, pixels = alphas.shape
-    factors = np.empty((num + 1, pixels), dtype=np.float64)
+    factors = np.empty((num + 1, pixels), dtype=tile_trans.dtype)
     factors[0] = tile_trans
     np.subtract(1.0, alphas, out=factors[1:])
     trans_seq = np.cumprod(factors, axis=0)

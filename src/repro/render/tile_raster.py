@@ -29,11 +29,28 @@ Two execution backends are provided, selected by ``RenderConfig.backend``:
 Both backends produce identical statistics counters; images agree to
 ``atol=1e-9`` (the vectorized backend accumulates colour with a batched sum
 instead of a left fold).
+
+Two orthogonal execution modes extend the pipeline without changing it:
+
+* **Tile-range sharding** — ``render_tilewise(..., tile_shard=(lo, hi))``
+  renders only the tiles whose row-major id falls in the half-open
+  interval.  Tiles are independent until Stage IV blending is applied
+  per-tile, so a frame sharded over any partition of the tile range and
+  merged by :func:`compose_tile_shards` is *bitwise identical* — image and
+  statistics counters — to the unsharded render.  Projection and pair
+  building run identically in every shard (they are cheap relative to
+  blending and keep the frame-global counters exact); only the per-tile
+  rendering loop is restricted.
+* **float32 engine mode** — ``RenderConfig(dtype="float32")`` runs alpha
+  evaluation and blending in single precision.  Projection, depth sorting
+  and tile assignment stay float64, so the pair stream and every counter
+  are identical to the float64 mode; images are validated against the
+  float64 reference oracle by PSNR floor instead of bitwise.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -52,6 +69,7 @@ from repro.render.kernels import (
     batched_tile_alpha,
     sequential_blend,
     subtile_evaluation_count,
+    tile_interval_slice,
 )
 from repro.render.preprocess import ProjectedGaussians, project_scene, tile_range
 
@@ -91,6 +109,10 @@ class TileWiseStats:
     num_occupied_tiles: int = 0
     #: Gaussian indices (into the original scene) that were rendered.
     rendered_indices: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    #: Gaussian indices (into the original scene) with at least one processed
+    #: pair.  Kept as a sorted array (not just the ``num_distinct_processed``
+    #: count) so shard compositing can take the exact union across shards.
+    processed_indices: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
 
     @property
     def avg_loads_per_gaussian(self) -> float:
@@ -117,11 +139,18 @@ class TileWiseStats:
 
 @dataclass
 class TileWiseResult:
-    """Image plus statistics returned by :func:`render_tilewise`."""
+    """Image plus statistics returned by :func:`render_tilewise`.
+
+    ``tile_shard`` is the half-open tile-id interval this result rendered,
+    or ``None`` for a whole frame.  A shard's image holds the background
+    colour outside its owned tiles; :func:`compose_tile_shards` merges a
+    partition of shards back into a whole frame.
+    """
 
     image: np.ndarray
     stats: TileWiseStats
     projected: ProjectedGaussians
+    tile_shard: tuple[int, int] | None = None
 
 
 def _build_tile_pairs(
@@ -318,11 +347,37 @@ def _render_tile_vectorized(
         pos += chunk.size
 
 
+def frame_tile_count(width: int, height: int, tile_size: int) -> int:
+    """Number of tiles in a frame's row-major tile grid."""
+    num_tiles_x = (width + tile_size - 1) // tile_size
+    num_tiles_y = (height + tile_size - 1) // tile_size
+    return num_tiles_x * num_tiles_y
+
+
+def _render_view(projected: ProjectedGaussians, dtype: np.dtype) -> ProjectedGaussians:
+    """The projected arrays the rendering loop reads, in the engine dtype.
+
+    Projection and pair building always run float64; for the float32 mode
+    only the fields the per-pixel stage touches are down-cast, leaving
+    depths (sorting) and radii (tile assignment) untouched.
+    """
+    if dtype == np.float64:
+        return projected
+    return replace(
+        projected,
+        means2d=projected.means2d.astype(dtype),
+        conics=projected.conics.astype(dtype),
+        opacities=projected.opacities.astype(dtype),
+        colors=projected.colors.astype(dtype),
+    )
+
+
 def render_tilewise(
     scene: GaussianScene,
     camera: Camera,
     config: RenderConfig | None = None,
     obb_subtile_skip: bool = True,
+    tile_shard: tuple[int, int] | None = None,
 ) -> TileWiseResult:
     """Render ``scene`` with the standard preprocess-then-render dataflow.
 
@@ -332,6 +387,16 @@ def render_tilewise(
         When true (GSCore's behaviour), alpha evaluations are only counted
         for the 8x8 subtiles of each tile that intersect the Gaussian's
         3-sigma oriented footprint; the rendered image is unaffected.
+    tile_shard:
+        Optional half-open ``(lo, hi)`` interval of row-major tile ids.
+        When given, only tiles with ``lo <= id < hi`` are rendered: pixels
+        outside the interval hold the background colour and the per-tile
+        statistics counters (pairs processed, alpha evaluations, pixels
+        blended, occupied tiles, processed/rendered index sets) cover only
+        the owned tiles, while the frame-global counters (totals, depth
+        cull, preprocessed, assigned, tile pairs) are those of the whole
+        frame.  :func:`compose_tile_shards` merges a partition of shards
+        bitwise-exactly back into the unsharded result.
 
     Returns
     -------
@@ -341,6 +406,15 @@ def render_tilewise(
     config = config or RenderConfig()
     width, height = camera.width, camera.height
     tile_size = config.tile_size
+    dtype = np.dtype(config.dtype)
+    if tile_shard is not None:
+        lo, hi = int(tile_shard[0]), int(tile_shard[1])
+        num_tiles = frame_tile_count(width, height, tile_size)
+        if not 0 <= lo <= hi <= num_tiles:
+            raise ValueError(
+                f"tile_shard {tile_shard!r} out of range for {num_tiles} tiles"
+            )
+        tile_shard = (lo, hi)
 
     projected = project_scene(scene, camera, config)
     stats = TileWiseStats(
@@ -352,12 +426,14 @@ def render_tilewise(
         num_preprocessed=projected.num_visible,
     )
 
-    color_accum = np.zeros((height, width, 3), dtype=np.float64)
-    transmittance = np.ones((height, width), dtype=np.float64)
+    color_accum = np.zeros((height, width, 3), dtype=dtype)
+    transmittance = np.ones((height, width), dtype=dtype)
 
     if projected.num_visible == 0:
         image = finalize_image(color_accum, transmittance, config.background)
-        return TileWiseResult(image=image, stats=stats, projected=projected)
+        return TileWiseResult(
+            image=image, stats=stats, projected=projected, tile_shard=tile_shard
+        )
 
     tile_ids, gaussian_rows, num_tiles_x = _build_tile_pairs(
         projected, width, height, tile_size
@@ -365,15 +441,22 @@ def render_tilewise(
     stats.num_tile_pairs = int(tile_ids.size)
     stats.num_assigned = int(np.unique(gaussian_rows).size) if tile_ids.size else 0
 
+    view = _render_view(projected, dtype)
     processed_rows = np.zeros(projected.num_visible, dtype=bool)
     rendered_rows = np.zeros(projected.num_visible, dtype=bool)
     subtile = max(tile_size // 2, 1)
 
     unique_tiles, tile_starts = np.unique(tile_ids, return_index=True)
     tile_bounds = np.append(tile_starts, tile_ids.size)
-    stats.num_occupied_tiles = int(unique_tiles.size)
+    if tile_shard is None:
+        t_lo, t_hi = 0, int(unique_tiles.size)
+    else:
+        owned = tile_interval_slice(unique_tiles, *tile_shard)
+        t_lo, t_hi = owned.start, owned.stop
+    stats.num_occupied_tiles = t_hi - t_lo
 
-    for t_index, tile_id in enumerate(unique_tiles):
+    for t_index in range(t_lo, t_hi):
+        tile_id = unique_tiles[t_index]
         start, stop = tile_bounds[t_index], tile_bounds[t_index + 1]
         rows = gaussian_rows[start:stop]
 
@@ -385,12 +468,12 @@ def render_tilewise(
         tile_trans = transmittance[y0:y1, x0:x1].reshape(-1)
 
         if config.backend == "reference":
-            xs = np.arange(x0, x1, dtype=np.float64)
-            ys = np.arange(y0, y1, dtype=np.float64)
+            xs = np.arange(x0, x1, dtype=dtype)
+            ys = np.arange(y0, y1, dtype=dtype)
             grid_x, grid_y = np.meshgrid(xs, ys)
             _render_tile_reference(
                 rows,
-                projected,
+                view,
                 grid_x,
                 grid_y,
                 tile_color,
@@ -405,7 +488,7 @@ def render_tilewise(
         else:
             _render_tile_vectorized(
                 rows,
-                projected,
+                view,
                 x0,
                 y0,
                 x1,
@@ -425,8 +508,126 @@ def render_tilewise(
 
     stats.num_distinct_processed = int(np.count_nonzero(processed_rows))
     stats.num_rendered = int(np.count_nonzero(rendered_rows))
+    if stats.num_distinct_processed:
+        stats.processed_indices = projected.source_indices[
+            np.nonzero(processed_rows)[0]
+        ]
     if stats.num_rendered:
         stats.rendered_indices = projected.source_indices[np.nonzero(rendered_rows)[0]]
 
     image = finalize_image(color_accum, transmittance, config.background)
-    return TileWiseResult(image=image, stats=stats, projected=projected)
+    return TileWiseResult(
+        image=image, stats=stats, projected=projected, tile_shard=tile_shard
+    )
+
+
+def _copy_tile_interval(
+    dst: np.ndarray,
+    src: np.ndarray,
+    interval: tuple[int, int],
+    num_tiles_x: int,
+    tile_size: int,
+) -> None:
+    """Copy the pixels of the tiles in ``interval`` from ``src`` to ``dst``.
+
+    A contiguous row-major tile-id interval is a stack of full tile rows
+    with at most one partial row at each end, so the copy is a handful of
+    rectangular slice assignments, not a per-tile loop.
+    """
+    lo, hi = interval
+    if lo >= hi:
+        return
+    height, width = dst.shape[:2]
+    for ty in range(lo // num_tiles_x, (hi - 1) // num_tiles_x + 1):
+        tx_lo = max(lo - ty * num_tiles_x, 0)
+        tx_hi = min(hi - ty * num_tiles_x, num_tiles_x)
+        y0, y1 = ty * tile_size, min((ty + 1) * tile_size, height)
+        x0, x1 = tx_lo * tile_size, min(tx_hi * tile_size, width)
+        dst[y0:y1, x0:x1] = src[y0:y1, x0:x1]
+
+
+def _union_indices(arrays: list[np.ndarray]) -> np.ndarray:
+    """Sorted union of per-shard source-index arrays.
+
+    Each input is sorted-unique (a subset of the ascending
+    ``source_indices``), so the union reproduces the unsharded array
+    bitwise.
+    """
+    nonempty = [a for a in arrays if a.size]
+    if not nonempty:
+        return np.zeros(0, dtype=np.int64)
+    out = nonempty[0]
+    for arr in nonempty[1:]:
+        out = np.union1d(out, arr)
+    return out
+
+
+def compose_tile_shards(shards: list[TileWiseResult]) -> TileWiseResult:
+    """Merge tile-range shards of one frame into the whole-frame result.
+
+    ``shards`` must be the renders of a partition of the frame's tile-id
+    range (any order, empty intervals allowed).  The composition is *pure*
+    and *exact*: because Stage IV blending is per-tile, the merged image
+    and every statistics counter are bitwise identical to an unsharded
+    :func:`render_tilewise` call with the same scene/camera/config.
+
+    Per-tile counters are summed across shards; frame-global counters are
+    taken from any shard (each shard runs the identical projection and
+    pair-building stages); the distinct-processed and rendered Gaussian
+    sets are recovered exactly as the union of the per-shard index arrays.
+    """
+    if not shards:
+        raise ValueError("compose_tile_shards needs at least one shard")
+    for shard in shards:
+        if shard.tile_shard is None:
+            raise ValueError("compose_tile_shards got a whole-frame result")
+    base = shards[0].stats
+    width, height, tile_size = base.width, base.height, base.tile_size
+    num_tiles_x = (width + tile_size - 1) // tile_size
+    num_tiles = frame_tile_count(width, height, tile_size)
+
+    ordered = sorted(shards, key=lambda s: s.tile_shard)
+    cursor = 0
+    for shard in ordered:
+        st = shard.stats
+        if (st.width, st.height, st.tile_size) != (width, height, tile_size):
+            raise ValueError("shards disagree on frame geometry")
+        lo, hi = shard.tile_shard
+        if lo != cursor:
+            raise ValueError(
+                f"shard intervals do not partition [0, {num_tiles}): "
+                f"gap or overlap at tile {cursor}"
+            )
+        cursor = hi
+    if cursor != num_tiles:
+        raise ValueError(
+            f"shard intervals cover [0, {cursor}) but the frame has {num_tiles} tiles"
+        )
+
+    image = np.empty_like(ordered[0].image)
+    for shard in ordered:
+        _copy_tile_interval(image, shard.image, shard.tile_shard, num_tiles_x, tile_size)
+
+    processed = _union_indices([s.stats.processed_indices for s in ordered])
+    rendered = _union_indices([s.stats.rendered_indices for s in ordered])
+    stats = TileWiseStats(
+        width=width,
+        height=height,
+        tile_size=tile_size,
+        num_total=base.num_total,
+        num_depth_passed=base.num_depth_passed,
+        num_preprocessed=base.num_preprocessed,
+        num_assigned=base.num_assigned,
+        num_tile_pairs=base.num_tile_pairs,
+        num_pairs_processed=sum(s.stats.num_pairs_processed for s in ordered),
+        num_distinct_processed=int(processed.size),
+        num_rendered=int(rendered.size),
+        alpha_evaluations=sum(s.stats.alpha_evaluations for s in ordered),
+        pixels_blended=sum(s.stats.pixels_blended for s in ordered),
+        num_occupied_tiles=sum(s.stats.num_occupied_tiles for s in ordered),
+        rendered_indices=rendered,
+        processed_indices=processed,
+    )
+    return TileWiseResult(
+        image=image, stats=stats, projected=ordered[0].projected, tile_shard=None
+    )

@@ -30,7 +30,13 @@ from repro.eval.reporting import format_table
 from repro.eval.scenes import EVAL_SCENES
 from repro.gaussians.synthetic import BENCHMARK_SCENES
 from repro.render.common import BACKENDS
-from repro.sched.qos import DEFAULT_LADDER, EventLog, QoSPolicy, SLOController
+from repro.sched.qos import (
+    DEFAULT_LADDER,
+    FAST_LADDER,
+    EventLog,
+    QoSPolicy,
+    SLOController,
+)
 from repro.sched.scheduler import (
     RequestScheduler,
     ScheduleReport,
@@ -166,10 +172,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="fixed-policy quantization tier (ignored with --policy adaptive)",
     )
     serving.add_argument(
+        "--ladder",
+        default="default",
+        choices=("default", "fast"),
+        help=(
+            "adaptive quality ladder: 'default' is the float64 (lod, quant) "
+            "ladder; 'fast' interleaves float32 fast-path rungs that trade "
+            "bitwise reproducibility (PSNR-floored vs the float64 oracle) "
+            "for throughput before giving up fidelity (ignored with "
+            "--policy fixed; requires --dataflow tilewise)"
+        ),
+    )
+    serving.add_argument(
         "--workers",
         type=_nonnegative_int,
         default=1,
         help="farm worker lanes (0 or 1 = sequential farm)",
+    )
+    serving.add_argument(
+        "--max-shards",
+        type=_positive_int,
+        default=1,
+        help=(
+            "most tile-range shards the dispatcher may split one frame "
+            "into to rescue a latency-critical request (1 = never shard; "
+            "sharded output merges bitwise-exactly, so this costs no "
+            "quality; requires --dataflow tilewise)"
+        ),
     )
     serving.add_argument(
         "--max-queue",
@@ -226,7 +255,10 @@ def build_controller(args: argparse.Namespace) -> SLOController:
         window=args.window,
         min_samples=max(1, args.window // 2),
     )
-    ladder = DEFAULT_LADDER if args.policy == "adaptive" else ((args.lod, args.quant),)
+    if args.policy == "adaptive":
+        ladder = FAST_LADDER if args.ladder == "fast" else DEFAULT_LADDER
+    else:
+        ladder = ((args.lod, args.quant),)
     return SLOController(policy=policy, ladder=ladder, log=EventLog())
 
 
@@ -286,6 +318,10 @@ def format_report(report: ScheduleReport) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.max_shards > 1 and args.dataflow != "tilewise":
+        parser.error("--max-shards > 1 requires --dataflow tilewise")
+    if args.ladder == "fast" and args.dataflow != "tilewise":
+        parser.error("--ladder fast requires --dataflow tilewise")
     spec = WorkloadSpec(
         arrival=args.arrival,
         rate_rps=args.rate,
@@ -303,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
             max_queue=args.max_queue,
             dataflow=args.dataflow,
             backend=args.backend,
+            max_shards=args.max_shards,
         ),
         qos=build_controller(args),
         quick=args.quick,

@@ -35,10 +35,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.render.common import DTYPES
 from repro.store.codec import QUANT_SPECS
 
-#: One rung of the quality ladder: the (lod, quant) tier jobs render at.
-Tier = tuple[int, str]
+#: One rung of the quality ladder: the ``(lod, quant)`` tier jobs render
+#: at, optionally extended to ``(lod, quant, dtype)`` where ``dtype`` is a
+#: :data:`repro.render.common.DTYPES` engine mode.  A two-element tier is
+#: exactly equivalent to the same tier with ``dtype="float64"`` (ladders
+#: normalise the redundant third element away), so every pre-float32
+#: ladder, event log and histogram is unchanged byte for byte.
+Tier = tuple
 
 #: Default quality ladder, most expensive first.  Quantization steps shrink
 #: the shipped/decoded payload; LOD steps shrink the per-frame render work
@@ -53,10 +59,48 @@ DEFAULT_LADDER: tuple[Tier, ...] = (
     (3, "compact"),
 )
 
+#: Opt-in ladder whose cheap half runs the float32 tile-wise fast path:
+#: each float32 rung renders the *same scene tier* as the float64 rung
+#: above it, trading bitwise reproducibility (the float32 image is held to
+#: a PSNR floor against the float64 oracle, not to equality) for render
+#: throughput before any further fidelity is given up to LOD/quant.  The
+#: default ladder is untouched — schedulers opt in explicitly.
+FAST_LADDER: tuple[Tier, ...] = (
+    (0, "lossless"),
+    (0, "lossless", "float32"),
+    (0, "fp16", "float32"),
+    (1, "fp16", "float32"),
+    (1, "compact", "float32"),
+    (2, "compact", "float32"),
+    (3, "compact", "float32"),
+)
+
+
+def tier_lod(tier: Tier) -> int:
+    """Detail level of a tier (2- and 3-element forms alike)."""
+    return int(tier[0])
+
+
+def tier_quant(tier: Tier) -> str:
+    """Quantization tier of a tier (2- and 3-element forms alike)."""
+    return tier[1]
+
+
+def tier_dtype(tier: Tier) -> str:
+    """Engine dtype of a tier (``"float64"`` for the two-element form)."""
+    return tier[2] if len(tier) > 2 else "float64"
+
 
 def tier_name(tier: Tier) -> str:
-    """Stable string form of a tier (used by histograms and event logs)."""
-    return f"lod{tier[0]}/{tier[1]}"
+    """Stable string form of a tier (used by histograms and event logs).
+
+    Float64 tiers keep their historical ``lodK/quant`` names (logs and
+    histograms of pre-float32 ladders replay byte-identically); a float32
+    tier appends the dtype as a third path segment.
+    """
+    name = f"lod{tier[0]}/{tier[1]}"
+    dtype = tier_dtype(tier)
+    return name if dtype == "float64" else f"{name}/{dtype}"
 
 
 class EventLog:
@@ -163,15 +207,32 @@ class SLOController:
         self.policy = policy or QoSPolicy()
         if not ladder:
             raise ValueError("ladder must have at least one tier")
-        for lod, quant in ladder:
-            if lod < 0:
-                raise ValueError("ladder lod levels must be non-negative")
-            if quant not in QUANT_SPECS:
+        normalised = []
+        for tier in ladder:
+            if len(tier) not in (2, 3):
                 raise ValueError(
-                    f"unknown ladder quant tier {quant!r}; "
+                    f"ladder tiers must be (lod, quant) or (lod, quant, dtype), got {tier!r}"
+                )
+            if tier[0] < 0:
+                raise ValueError("ladder lod levels must be non-negative")
+            if tier[1] not in QUANT_SPECS:
+                raise ValueError(
+                    f"unknown ladder quant tier {tier[1]!r}; "
                     f"available: {sorted(QUANT_SPECS)}"
                 )
-        self.ladder = tuple((int(lod), quant) for lod, quant in ladder)
+            dtype = tier_dtype(tier)
+            if dtype not in DTYPES:
+                raise ValueError(
+                    f"unknown ladder dtype {dtype!r}; available: {DTYPES}"
+                )
+            # A float64 third element is redundant — normalise it away so
+            # (lod, quant) and (lod, quant, "float64") are one tier (same
+            # name, same warmth key, same histogram bucket).
+            if dtype == "float64":
+                normalised.append((int(tier[0]), tier[1]))
+            else:
+                normalised.append((int(tier[0]), tier[1], dtype))
+        self.ladder = tuple(normalised)
         self.log = log if log is not None else EventLog()
         self._rung = 0
         self._window: deque[float] = deque(maxlen=self.policy.window)
@@ -277,9 +338,13 @@ class SLOController:
 
 __all__ = [
     "DEFAULT_LADDER",
+    "FAST_LADDER",
     "EventLog",
     "QoSPolicy",
     "SLOController",
     "Tier",
+    "tier_dtype",
+    "tier_lod",
     "tier_name",
+    "tier_quant",
 ]

@@ -68,7 +68,14 @@ from repro.eval.scenes import eval_preset
 from repro.exec.executor import RenderExecutor
 from repro.gaussians.synthetic import scaled_image_size, scene_spec
 from repro.render.common import BACKENDS
-from repro.sched.qos import EventLog, QoSPolicy, SLOController, Tier, tier_name
+from repro.sched.qos import (
+    EventLog,
+    QoSPolicy,
+    SLOController,
+    Tier,
+    tier_dtype,
+    tier_name,
+)
 from repro.sched.workload import Request, WorkloadSpec
 from repro.serve.farm import DATAFLOWS, RenderFarm
 from repro.serve.trajectories import RenderJob, make_trajectory
@@ -123,6 +130,15 @@ class ServiceModel:
     #: Scene-shipping cost per megabyte of the quant tier's encoded payload
     #: (cold dispatches only — a warm tier is already resident).
     ship_ms_per_mb: float = 4.0
+    #: Fixed overhead each *extra* tile-range shard of a frame adds on top
+    #: of the frame base (every shard re-runs projection and pair building;
+    #: the compositor merges the partials).  Zero-cost at ``shards=1``, so
+    #: the pre-sharding model is reproduced exactly by default.
+    shard_overhead_ms: float = 0.25
+    #: Multiplier on the per-Gaussian and per-pixel *work* terms when a
+    #: tier renders in float32 (the tile-wise fast path).  The frame base
+    #: and dispatch overheads are dtype-independent.
+    float32_work_factor: float = 0.6
     #: LOD keep ratio (level k retains ``lod_ratio**k`` of the scene).
     lod_ratio: float = DEFAULT_RATIO
 
@@ -164,15 +180,39 @@ class ServiceModel:
             self._memo[key] = cached
         return cached
 
-    def frame_ms(self, scene: str, quick: bool, lod: int) -> float:
-        """Modeled render time of one frame at detail level ``lod``."""
-        key = ("frame_ms", scene, quick, lod)
+    def frame_ms(
+        self,
+        scene: str,
+        quick: bool,
+        lod: int,
+        dtype: str = "float64",
+        shards: int = 1,
+    ) -> float:
+        """Modeled render time of one frame work unit at detail ``lod``.
+
+        With ``shards=1`` (the default) this is the whole frame, exactly as
+        the pre-sharding model costed it.  With ``shards=s > 1`` it is the
+        time of *one of the frame's s tile-range shards*: every shard pays
+        the frame base (projection and pair building re-run per shard) plus
+        a per-extra-shard coordination overhead, and does ``1/s`` of the
+        blending work.  ``dtype="float32"`` scales the work terms by
+        :attr:`float32_work_factor` (the fast path speeds up blending, not
+        the fixed overheads).
+        """
+        shards = max(1, shards)
+        key = ("frame_ms", scene, quick, lod, dtype, shards)
         cached = self._memo.get(key)
         if cached is None:
+            work = (
+                self.ms_per_kgaussian * self.num_gaussians(scene, quick, lod) / 1000.0
+                + self.ms_per_kpixel * self.num_pixels(scene, quick) / 1000.0
+            )
+            if dtype == "float32":
+                work *= self.float32_work_factor
             cached = (
                 self.frame_base_ms
-                + self.ms_per_kgaussian * self.num_gaussians(scene, quick, lod) / 1000.0
-                + self.ms_per_kpixel * self.num_pixels(scene, quick) / 1000.0
+                + self.shard_overhead_ms * (shards - 1)
+                + work / shards
             )
             self._memo[key] = cached
         return cached
@@ -188,7 +228,7 @@ class ServiceModel:
         """
         if warm:
             return self.dispatch_warm_ms
-        lod, quant = tier
+        lod, quant = tier[0], tier[1]
         gaussians = self.num_gaussians(request.scene, quick, lod)
         ship_mb = quant_spec(quant).bytes_per_gaussian() * gaussians / 1e6
         return self.dispatch_cold_ms + self.ship_ms_per_mb * ship_mb
@@ -200,19 +240,25 @@ class ServiceModel:
         workers: int,
         quick: bool,
         warm: bool = False,
+        shards: int = 1,
     ) -> float:
         """Modeled service time of ``request`` rendered at ``tier``.
 
-        ``workers`` frame-parallel lanes render the job's frames in
-        ``ceil(num_frames / workers)`` waves on top of the warm/cold
-        dispatch overhead (see :meth:`dispatch_ms`; ``warm=False`` is the
-        conservative default and matches the pre-executor model, whose
-        every dispatch was cold).
+        ``workers`` frame-parallel lanes render the job's work units —
+        frames, or ``num_frames x shards`` tile-range shards when the
+        dispatcher splits frames — in ``ceil(units / workers)`` waves on
+        top of the warm/cold dispatch overhead (see :meth:`dispatch_ms`;
+        ``warm=False`` is the conservative default and matches the
+        pre-executor model, whose every dispatch was cold).  Sharding cuts
+        the critical path of a job with fewer frames than lanes (the idle
+        lanes take shards) at the cost of the per-shard overhead; at
+        ``shards=1`` the pre-sharding cost is reproduced exactly.
         """
-        waves = math.ceil(request.num_frames / max(1, workers))
-        lod = tier[0]
+        shards = max(1, shards)
+        units = request.num_frames * shards
+        waves = math.ceil(units / max(1, workers))
         return self.dispatch_ms(request, tier, quick, warm) + waves * self.frame_ms(
-            request.scene, quick, lod
+            request.scene, quick, tier[0], dtype=tier_dtype(tier), shards=shards
         )
 
 
@@ -232,6 +278,11 @@ class SchedulerPolicy:
     shed_slack: float = 1.0
     dataflow: str = "tilewise"
     backend: str = "vectorized"
+    #: Most tile-range shards the dispatcher may split one frame into to
+    #: rescue a latency-critical request (1 = never shard, the historical
+    #: behaviour).  Sharding costs no quality — shard outputs merge
+    #: bitwise-exactly — so the dispatcher prefers it over rung demotion.
+    max_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.num_workers < 0:
@@ -244,6 +295,10 @@ class SchedulerPolicy:
             raise ValueError(f"dataflow must be one of {DATAFLOWS}")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.max_shards < 1:
+            raise ValueError("max_shards must be >= 1")
+        if self.max_shards > 1 and self.dataflow != "tilewise":
+            raise ValueError("max_shards > 1 requires the tilewise dataflow")
 
     @property
     def model_workers(self) -> int:
@@ -263,6 +318,8 @@ class RequestOutcome:
     status: str
     #: Tier the request was served at (``None`` when never dispatched).
     tier: Tier | None = None
+    #: Tile-range shards each frame was split into (1 = whole frames).
+    shards: int = 1
     queue_wait_ms: float | None = None
     service_ms: float | None = None
     e2e_ms: float | None = None
@@ -378,6 +435,7 @@ class ScheduleReport:
                 "shed_slack": self.policy.shed_slack,
                 "dataflow": self.policy.dataflow,
                 "backend": self.policy.backend,
+                "max_shards": self.policy.max_shards,
                 "adaptive": self.qos_policy.adaptive,
                 "window": self.qos_policy.window,
                 "ladder": [tier_name(tier) for tier in self.ladder],
@@ -473,6 +531,14 @@ class RequestScheduler:
     ) -> None:
         self.policy = policy or SchedulerPolicy()
         self.qos = qos if qos is not None else SLOController()
+        if self.policy.dataflow != "tilewise" and any(
+            tier_dtype(tier) != "float64" for tier in self.qos.ladder
+        ):
+            # Fail at construction, not at the first execute-mode dispatch:
+            # the float32 fast path exists only in the tile-wise engine.
+            raise ValueError(
+                "float32 ladder tiers require the tilewise dataflow"
+            )
         self.model = service_model or ServiceModel()
         self.quick = quick
         self.execute = execute
@@ -594,7 +660,9 @@ class RequestScheduler:
                     )
                     dispatch(now)
                     continue
-                cheapest_ms = self._job_cost(request, self.qos.cheapest_tier)
+                # Feasibility projects the cheapest rung at its best shard
+                # count — with max_shards=1 exactly the unsharded cost.
+                _, cheapest_ms = self._best_shards(request, self.qos.cheapest_tier)
                 pending_ms = (running_until - now) if busy else 0.0
                 projected_ms = pending_ms + queued_backlog_ms(request) + cheapest_ms
                 if self.qos.should_shed(
@@ -680,7 +748,18 @@ class RequestScheduler:
         )
 
     # ------------------------------------------------------------------
-    def _job_cost(self, request: Request, tier: Tier) -> float:
+    @staticmethod
+    def _scene_tier(tier: Tier) -> tuple:
+        """The residency key of a tier: its ``(lod, quant)`` scene tier.
+
+        Warmth (and the executor's worker caches) key on the *scene* tier
+        only — a float32 dispatch renders the same resident scene the
+        float64 tier shipped, so it must not be costed cold again.  For the
+        historical two-element tiers this is the tier itself.
+        """
+        return (tier[0], tier[1])
+
+    def _job_cost(self, request: Request, tier: Tier, shards: int = 1) -> float:
         """Modeled service time of ``request`` at ``tier``, warmth-aware.
 
         A tier dispatched earlier in this run is *warm* — its payload is
@@ -691,10 +770,32 @@ class RequestScheduler:
         deployment, not per worker slot — the conservative simplification
         of the executor's per-worker residency.)
         """
-        warm = (request.scene, tier) in self._touched
+        warm = (request.scene, self._scene_tier(tier)) in self._touched
         return self.model.job_ms(
-            request, tier, self.policy.model_workers, self.quick, warm=warm
+            request,
+            tier,
+            self.policy.model_workers,
+            self.quick,
+            warm=warm,
+            shards=shards,
         )
+
+    def _best_shards(self, request: Request, tier: Tier) -> tuple[int, float]:
+        """The shard count minimising ``request``'s modeled cost at ``tier``.
+
+        Walks shard counts upward from 1 while the model keeps improving
+        (sharding stops paying once the per-shard overhead outweighs the
+        spread across idle lanes) and never exceeds ``policy.max_shards``.
+        Returns ``(shards, cost)``; with ``max_shards=1`` this is always
+        ``(1, unsharded cost)``.
+        """
+        best_shards, best_cost = 1, self._job_cost(request, tier)
+        for shards in range(2, self.policy.max_shards + 1):
+            cost = self._job_cost(request, tier, shards)
+            if cost >= best_cost:
+                break
+            best_shards, best_cost = shards, cost
+        return best_shards, best_cost
 
     def _serve_or_shed(
         self,
@@ -717,9 +818,9 @@ class RequestScheduler:
         serves blindly (no demotion, no late shed); its misses are the
         point of the comparison.
         """
-        tier, demoted_from = self._dispatch_tier(request, now)
-        warm = (request.scene, tier) in self._touched
-        service_ms = self._job_cost(request, tier)
+        tier, shards, demoted_from = self._dispatch_tier(request, now)
+        warm = (request.scene, self._scene_tier(tier)) in self._touched
+        service_ms = self._job_cost(request, tier, shards)
         wait_ms = now - request.arrival_ms
         outcome = outcomes[request.request_id]
         slack_ms = request.deadline_ms - now
@@ -746,56 +847,90 @@ class RequestScheduler:
             "queue_wait_ms": round(wait_ms, 3),
             "service_ms": round(service_ms, 3),
         }
+        if shards > 1:
+            # Whole-frame dispatches keep their historical event shape —
+            # the field appears only when the dispatcher actually sharded,
+            # so pre-sharding decision logs replay byte-identically.
+            entry["shards"] = shards
         if demoted_from is not None:
             entry["demoted_from"] = tier_name(demoted_from)
         log.emit(now, "dispatch", **entry)
         self._dispatch_counts["warm" if warm else "cold"] += 1
-        self._touched.add((request.scene, tier))
+        self._touched.add((request.scene, self._scene_tier(tier)))
         outcome.tier = tier
+        outcome.shards = shards
         outcome.queue_wait_ms = wait_ms
         outcome.service_ms = service_ms
         if self.execute:
-            self._execute(request, tier, outcome, measured_frame_ms, pending_handles)
+            self._execute(
+                request, tier, shards, outcome, measured_frame_ms, pending_handles
+            )
         return True
 
-    def _dispatch_tier(self, request: Request, now: float) -> tuple[Tier, Tier | None]:
-        """The tier ``request`` is served at, with per-request demotion.
+    def _dispatch_tier(
+        self, request: Request, now: float
+    ) -> tuple[Tier, int, Tier | None]:
+        """The (tier, shards) plan ``request`` is served with.
 
-        Serving starts from the controller's current rung and walks *down*
-        the ladder only as far as the request's remaining deadline slack
-        requires — the "per-request tier" half of adaptive quality: a
-        request whose wait already ate most of its budget renders cheap
-        even while the global rung is still expensive, and one with plenty
-        of slack is untouched.  A fixed (one-rung) ladder cannot demote, by
-        construction.  If even the cheapest rung cannot make the deadline
-        this method still returns that rung — the caller,
+        Serving starts from the controller's current rung and walks a
+        two-dimensional plan only as far as the request's remaining
+        deadline slack requires.  At each rung the dispatcher first tries
+        *sharding* — splitting frames into tile-range shards spreads one
+        request over idle lanes at **zero quality cost** (shard outputs
+        merge bitwise-exactly) — and only when even the best shard count
+        cannot make the deadline does it *demote* to the next (cheaper,
+        lower-fidelity) rung, unsharded first.  A request whose wait ate
+        most of its budget therefore renders sharded-but-full-quality when
+        lanes can save it, and cheap only when they cannot.  With
+        ``max_shards=1`` the walk degenerates to the historical
+        rung-demotion loop.
+
+        If even the cheapest rung at its best shard count cannot make the
+        deadline this method still returns that plan — the caller,
         :meth:`_serve_or_shed`, decides the request's fate (an adaptive
         controller sheds it there; the fixed baseline serves blindly and
         records the miss).
 
-        Returns ``(tier, demoted_from)`` where ``demoted_from`` is the
-        controller's rung when demotion happened, else ``None``.
+        Returns ``(tier, shards, demoted_from)`` where ``demoted_from`` is
+        the controller's rung when demotion happened, else ``None``.
 
-        Demotion is an *adaptive* behaviour: a ``QoSPolicy(adaptive=False)``
-        controller serves every request at its pinned rung no matter the
-        slack (that is what makes it the fixed-tier baseline), exactly as a
-        one-rung ladder would.
+        Demotion and sharding are *adaptive* behaviours: a
+        ``QoSPolicy(adaptive=False)`` controller serves every request
+        whole-frame at its pinned rung no matter the slack (that is what
+        makes it the fixed-tier baseline), exactly as a one-rung ladder
+        would.
         """
         if not self.qos.policy.adaptive:
-            return self.qos.current_tier, None
+            return self.qos.current_tier, 1, None
         ladder = self.qos.ladder
-        rung = self.qos.rung
         slack_ms = request.deadline_ms - now
-        start = ladder[rung]
-        while rung < len(ladder) - 1 and (
-            self._job_cost(request, ladder[rung]) > slack_ms
-        ):
-            rung += 1
-        tier = ladder[rung]
-        return tier, (start if tier != start else None)
+        start = ladder[self.qos.rung]
+        plan: tuple[Tier, int] | None = None
+        for rung in range(self.qos.rung, len(ladder)):
+            tier = ladder[rung]
+            if self._job_cost(request, tier) <= slack_ms:
+                plan = (tier, 1)
+                break
+            best_shards, best_cost = self._best_shards(request, tier)
+            if best_cost <= slack_ms:
+                plan = (tier, best_shards)
+                break
+        if plan is None:
+            # Nothing fits: hand back the cheapest plan the ladder has and
+            # let the caller shed (adaptive) or serve blindly (fixed).
+            plan = (ladder[-1], self._best_shards(request, ladder[-1])[0])
+        tier, shards = plan
+        return tier, shards, (start if tier != start else None)
 
-    def build_job(self, request: Request, tier: Tier) -> RenderJob:
-        """The concrete farm job serving ``request`` at ``tier``."""
+    def build_job(self, request: Request, tier: Tier, shards: int = 1) -> RenderJob:
+        """The concrete farm job serving ``request`` at ``tier``.
+
+        The decision plane's whole plan crosses into the data plane here:
+        the tier's scene ``(lod, quant)``, its engine ``dtype`` and the
+        dispatcher's shard count all land on the
+        :class:`~repro.serve.trajectories.RenderJob`, so an executed
+        schedule renders exactly what the virtual clock costed.
+        """
         trajectory = make_trajectory(
             request.trajectory_kind,
             num_frames=request.num_frames,
@@ -810,12 +945,15 @@ class RequestScheduler:
             backend=self.policy.backend,
             lod=tier[0],
             quant=tier[1],
+            shards=max(1, shards),
+            dtype=tier_dtype(tier),
         )
 
     def _execute(
         self,
         request: Request,
         tier: Tier,
+        shards: int,
         outcome: RequestOutcome,
         measured_frame_ms: list[float],
         pending_handles: list,
@@ -830,7 +968,7 @@ class RequestScheduler:
         really complete.
         """
         handle = self.executor.submit(
-            self.build_job(request, tier),
+            self.build_job(request, tier, shards),
             on_frame=lambda record: measured_frame_ms.append(record.render_ms),
         )
         pending_handles.append((outcome, handle))

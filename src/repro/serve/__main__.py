@@ -37,7 +37,7 @@ from pathlib import Path
 from repro.eval.reporting import format_table
 from repro.eval.scenes import EVAL_SCENES, EvalScenePreset, register_preset
 from repro.gaussians.synthetic import register_scene_spec
-from repro.render.common import BACKENDS
+from repro.render.common import BACKENDS, DTYPES
 from repro.serve.farm import DATAFLOWS, JobResult, RenderFarm
 from repro.serve.trajectories import TRAJECTORY_KINDS, RenderJob, make_trajectory
 from repro.store.codec import QUANT_SPECS
@@ -131,6 +131,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         choices=BACKENDS,
         help="rasterisation engine",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help=(
+            "tile-range shards per frame (1 = whole-frame work units); "
+            "sharded output is bitwise identical, only single-frame "
+            "latency changes (tilewise dataflow only)"
+        ),
+    )
+    parser.add_argument(
+        "--dtype",
+        default="float64",
+        choices=DTYPES,
+        help=(
+            "floating-point engine mode (float32 is the tile-wise fast "
+            "path, PSNR-floored against the float64 oracle)"
+        ),
     )
     parser.add_argument(
         "--quick",
@@ -266,7 +285,8 @@ def format_report(result: JobResult) -> str:
     lines = [
         f"Render-farm job: scene={job.scene} trajectory={job.trajectory.kind} "
         f"dataflow={job.dataflow} backend={result.spec.backend} "
-        f"quick={job.quick} lod={job.lod} quant={job.quant}",
+        f"quick={job.quick} lod={job.lod} quant={job.quant}"
+        f" dtype={result.spec.dtype} shards={getattr(job, 'shards', 1)}",
         f"  frames: {result.num_frames}   scheduling: {mode}"
         f"   gaussians: {result.num_gaussians}{shipped}",
         f"  wall time: {result.wall_seconds:.3f} s   "
@@ -298,6 +318,10 @@ def main(argv: list[str] | None = None) -> int:
         view_index=args.view_index,
         seed=args.seed,
     )
+    if args.shards > 1 and args.dataflow != "tilewise":
+        parser.error("--shards > 1 requires --dataflow tilewise")
+    if args.dtype != "float64" and args.dataflow != "tilewise":
+        parser.error("--dtype float32 requires --dataflow tilewise")
     job = RenderJob(
         scene=scene_name,
         trajectory=trajectory,
@@ -306,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         lod=args.lod,
         quant=args.quant,
+        shards=args.shards,
+        dtype=args.dtype,
     )
     farm = RenderFarm(num_workers=args.workers, mp_context=args.mp_context)
     on_frame = None

@@ -160,13 +160,16 @@ class RenderFarm:
 
         if self.executor is not None:
             return self.executor.submit(job, scene=scene, on_frame=on_frame).result()
-        if self.num_workers <= 1 or job.num_frames <= 1:
+        # Work units, not frames, decide whether a pool pays off: a sharded
+        # single-frame job still spreads its tile-range shards over workers.
+        work_units = job.num_frames * max(getattr(job, "shards", 1), 1)
+        if self.num_workers <= 1 or work_units <= 1:
             transient = RenderExecutor(num_workers=0, scene_format=self.scene_format)
             return transient.submit(job, scene=scene, on_frame=on_frame).result()
         with RenderExecutor(
             # A transient pool serves exactly this job, so never spawn more
-            # workers than it has frames (matching the pre-executor farm).
-            num_workers=min(self.num_workers, job.num_frames),
+            # workers than it has work units (matching the pre-executor farm).
+            num_workers=min(self.num_workers, work_units),
             mp_context=self.mp_context,
             scene_format=self.scene_format,
         ) as transient:

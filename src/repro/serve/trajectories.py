@@ -43,7 +43,7 @@ import numpy as np
 from repro.eval.scenes import EvalScenePreset, eval_preset
 from repro.gaussians.camera import Camera, look_at
 from repro.gaussians.synthetic import make_camera, scaled_image_size, scene_spec
-from repro.render.common import BACKENDS
+from repro.render.common import BACKENDS, DTYPES
 from repro.serve.farm import DATAFLOWS
 from repro.store.codec import QUANT_SPECS
 
@@ -236,6 +236,16 @@ class RenderJob:
         :data:`repro.store.codec.QUANT_SPECS` (``"lossless"`` ships and
         renders the scene bit-exactly; lossy tiers shrink the bytes shipped
         to farm workers).
+    shards:
+        Tile-range shards each frame is split into (1 = whole-frame work
+        units, the historical behaviour).  Sharding is an intra-frame
+        latency lever: shard outputs merge bitwise-exactly, so results are
+        identical at any shard count — only the wall-clock of a single
+        frame changes.  Requires the tile-wise dataflow.
+    dtype:
+        Floating-point engine mode (:data:`repro.render.common.DTYPES`).
+        ``"float32"`` is the tile-wise fast path, validated by PSNR floor
+        against the float64 oracle instead of bitwise.
     """
 
     scene: str
@@ -245,6 +255,8 @@ class RenderJob:
     backend: str = "vectorized"
     lod: int = 0
     quant: str = "lossless"
+    shards: int = 1
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.dataflow not in DATAFLOWS:
@@ -255,6 +267,14 @@ class RenderJob:
             raise ValueError("lod must be non-negative")
         if self.quant not in QUANT_SPECS:
             raise ValueError(f"quant must be one of {sorted(QUANT_SPECS)}")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shards > 1 and self.dataflow != "tilewise":
+            raise ValueError("shards > 1 requires the tilewise dataflow")
+        if self.dtype not in DTYPES:
+            raise ValueError(f"dtype must be one of {DTYPES}")
+        if self.dtype != "float64" and self.dataflow != "tilewise":
+            raise ValueError("dtype='float32' requires the tilewise dataflow")
         # Fail fast on unknown scenes so jobs cannot enter the farm queue
         # with a name no worker will resolve.
         eval_preset(self.scene, quick=self.quick)

@@ -1,0 +1,281 @@
+"""Shard- and dtype-aware scheduling: tiers, service model, dispatch plans.
+
+The scheduler's side of the intra-frame sharding tentpole: the quality
+ladder learns an optional third tier element (the engine dtype), the
+deterministic :class:`~repro.sched.scheduler.ServiceModel` learns shard and
+float32 service-time terms, and the dispatcher may split a
+latency-critical request's frames into tile-range shards — at zero quality
+cost — before demoting it down the ladder.  All of it is strictly opt-in:
+with the default ``max_shards=1`` policy and float64 ladders, every
+decision log replays byte-identical to the pre-sharding scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sched.qos import (
+    DEFAULT_LADDER,
+    FAST_LADDER,
+    EventLog,
+    QoSPolicy,
+    SLOController,
+    tier_dtype,
+    tier_lod,
+    tier_name,
+    tier_quant,
+)
+from repro.sched.scheduler import (
+    RequestScheduler,
+    SchedulerPolicy,
+    ServiceModel,
+    run_workload,
+)
+from repro.sched.workload import Request, WorkloadSpec
+
+SPEC = WorkloadSpec(duration_s=10.0)
+
+
+def request(
+    request_id: int,
+    arrival_ms: float = 0.0,
+    slo_ms: float = 500.0,
+    num_frames: int = 2,
+) -> Request:
+    return Request(
+        request_id=request_id,
+        client_id=0,
+        priority=1,
+        arrival_ms=arrival_ms,
+        scene="train",
+        trajectory_kind="orbit",
+        num_frames=num_frames,
+        view_index=0,
+        traj_seed=0,
+        slo_ms=slo_ms,
+    )
+
+
+class TestTierForms:
+    def test_accessors_on_both_forms(self):
+        assert tier_lod((1, "fp16")) == 1
+        assert tier_quant((1, "fp16")) == "fp16"
+        assert tier_dtype((1, "fp16")) == "float64"
+        assert tier_dtype((1, "fp16", "float32")) == "float32"
+
+    def test_names_unchanged_for_float64(self):
+        assert tier_name((0, "lossless")) == "lod0/lossless"
+        assert tier_name((2, "compact", "float32")) == "lod2/compact/float32"
+
+    def test_controller_normalises_redundant_float64(self):
+        controller = SLOController(
+            ladder=((0, "lossless", "float64"), (1, "compact", "float32"))
+        )
+        assert controller.ladder == ((0, "lossless"), (1, "compact", "float32"))
+
+    def test_fast_ladder_tiers_are_valid(self):
+        controller = SLOController(ladder=FAST_LADDER)
+        assert controller.ladder == FAST_LADDER
+        assert tier_dtype(FAST_LADDER[0]) == "float64"
+        assert all(tier_dtype(t) == "float32" for t in FAST_LADDER[1:])
+
+    @pytest.mark.parametrize(
+        "ladder",
+        [
+            ((0,),),
+            ((0, "lossless", "float32", "extra"),),
+            ((0, "lossless", "float16"),),
+            ((0, "nope", "float32"),),
+        ],
+    )
+    def test_malformed_tiers_rejected(self, ladder):
+        with pytest.raises(ValueError):
+            SLOController(ladder=ladder)
+
+    def test_float32_ladder_requires_tilewise_scheduler(self):
+        with pytest.raises(ValueError):
+            RequestScheduler(
+                policy=SchedulerPolicy(dataflow="gaussianwise"),
+                qos=SLOController(ladder=FAST_LADDER),
+            )
+
+
+class TestPolicyKnobs:
+    def test_max_shards_validation(self):
+        assert SchedulerPolicy().max_shards == 1
+        assert SchedulerPolicy(max_shards=4).max_shards == 4
+        with pytest.raises(ValueError):
+            SchedulerPolicy(max_shards=0)
+        with pytest.raises(ValueError):
+            SchedulerPolicy(max_shards=2, dataflow="gaussianwise")
+
+
+class TestServiceModelShards:
+    def test_defaults_reproduce_unsharded_float64_cost(self):
+        model = ServiceModel()
+        legacy = (
+            model.frame_base_ms
+            + model.ms_per_kgaussian * model.num_gaussians("train", False, 0) / 1000.0
+            + model.ms_per_kpixel * model.num_pixels("train", False) / 1000.0
+        )
+        assert model.frame_ms("train", False, 0) == pytest.approx(legacy)
+        assert model.frame_ms("train", False, 0, dtype="float64", shards=1) == (
+            model.frame_ms("train", False, 0)
+        )
+
+    def test_shard_unit_cost_formula(self):
+        model = ServiceModel()
+        whole = model.frame_ms("train", False, 0)
+        work = whole - model.frame_base_ms
+        for shards in (2, 3, 4):
+            unit = model.frame_ms("train", False, 0, shards=shards)
+            assert unit == pytest.approx(
+                model.frame_base_ms
+                + model.shard_overhead_ms * (shards - 1)
+                + work / shards
+            )
+
+    def test_float32_scales_work_not_base(self):
+        model = ServiceModel()
+        f64 = model.frame_ms("train", False, 0)
+        f32 = model.frame_ms("train", False, 0, dtype="float32")
+        work = f64 - model.frame_base_ms
+        assert f32 == pytest.approx(
+            model.frame_base_ms + work * model.float32_work_factor
+        )
+        assert f32 < f64
+
+    def test_job_ms_sharding_spreads_over_idle_lanes(self):
+        model = ServiceModel()
+        req = request(0, num_frames=2)
+        tier = (0, "lossless")
+        unsharded = model.job_ms(req, tier, workers=4, quick=False, warm=True)
+        sharded = model.job_ms(req, tier, workers=4, quick=False, warm=True, shards=2)
+        # 2 frames on 4 lanes leaves 2 idle; 2x2 shards fill them and halve
+        # the blending work on the critical path.
+        assert sharded < unsharded
+        # Shards multiply work units: waves = ceil(frames*shards/workers).
+        waves = math.ceil(2 * 4 / 4)
+        unit = model.frame_ms("train", False, 0, shards=4)
+        assert model.job_ms(
+            req, tier, workers=4, quick=False, warm=True, shards=4
+        ) == pytest.approx(model.dispatch_warm_ms + waves * unit)
+
+    def test_float32_tier_threads_into_job_cost(self):
+        model = ServiceModel()
+        req = request(0)
+        f64 = model.job_ms(req, (0, "lossless"), workers=1, quick=False, warm=True)
+        f32 = model.job_ms(
+            req, (0, "lossless", "float32"), workers=1, quick=False, warm=True
+        )
+        assert f32 < f64
+
+
+class TestDispatchPlans:
+    def _scheduler(self, **policy_kwargs) -> RequestScheduler:
+        return RequestScheduler(
+            policy=SchedulerPolicy(num_workers=4, **policy_kwargs),
+            qos=SLOController(log=EventLog()),
+        )
+
+    def test_shard_rescue_keeps_full_quality(self):
+        # First request warms the tier; the second has slack that fits the
+        # top rung only when sharded — the dispatcher shards instead of
+        # demoting, at the controller's full-quality rung.
+        scheduler = self._scheduler(max_shards=4)
+        requests = [request(0), request(1, arrival_ms=200.0, slo_ms=10.0)]
+        report = scheduler.run(requests, SPEC)
+        outcome = report.outcomes[1]
+        assert outcome.status == "completed"
+        assert outcome.tier == (0, "lossless")
+        assert outcome.shards > 1
+        assert outcome.slo_met
+        event = [e for e in report.log.events if e["event"] == "dispatch"][1]
+        assert event["shards"] == outcome.shards
+        assert "demoted_from" not in event
+
+    def test_default_policy_never_shards(self):
+        scheduler = self._scheduler()  # max_shards=1
+        requests = [request(0), request(1, arrival_ms=200.0, slo_ms=10.0)]
+        report = scheduler.run(requests, SPEC)
+        assert all(o.shards == 1 for o in report.outcomes)
+        assert all(
+            "shards" not in e
+            for e in report.log.events
+            if e["event"] == "dispatch"
+        )
+
+    def test_fixed_policy_never_shards(self):
+        scheduler = RequestScheduler(
+            policy=SchedulerPolicy(num_workers=4, max_shards=4),
+            qos=SLOController(policy=QoSPolicy(adaptive=False), log=EventLog()),
+        )
+        requests = [request(0), request(1, arrival_ms=200.0, slo_ms=10.0)]
+        report = scheduler.run(requests, SPEC)
+        assert all(o.shards == 1 for o in report.outcomes)
+
+    def test_sharded_run_replays_identically(self):
+        spec = WorkloadSpec(
+            arrival="bursty", rate_rps=12.0, duration_s=15.0, slo_ms=60.0, seed=7
+        )
+
+        def run_once():
+            return run_workload(
+                spec,
+                RequestScheduler(
+                    policy=SchedulerPolicy(num_workers=4, max_shards=4),
+                    qos=SLOController(log=EventLog()),
+                ),
+            )
+
+        first, second = run_once(), run_once()
+        assert first.log.events == second.log.events
+        assert first.summary(include_events=True) == second.summary(
+            include_events=True
+        )
+
+    def test_default_decision_log_matches_pre_sharding_scheduler(self):
+        # The backward-compatibility pin: at default knobs the shard-aware
+        # dispatcher must emit exactly the events the historical
+        # rung-demotion walk did — no extra fields, no changed decisions.
+        spec = WorkloadSpec(arrival="bursty", rate_rps=12.0, duration_s=15.0, seed=9)
+        report = run_workload(spec, RequestScheduler(qos=SLOController(log=EventLog())))
+        for event in report.log.events:
+            assert "shards" not in event
+        histogram = report.tier_histogram()
+        assert all("/float" not in name for name in histogram)
+
+    def test_fast_ladder_serves_float32_under_pressure(self):
+        spec = WorkloadSpec(
+            arrival="bursty", rate_rps=14.0, duration_s=30.0, slo_ms=120.0, seed=0
+        )
+        qos = SLOController(
+            policy=QoSPolicy(
+                window=8, min_samples=4, cooldown=2, degrade_at=0.9, upgrade_at=0.45
+            ),
+            ladder=FAST_LADDER,
+            log=EventLog(),
+        )
+        report = run_workload(
+            spec, RequestScheduler(policy=SchedulerPolicy(num_workers=1), qos=qos)
+        )
+        served_float32 = [
+            o for o in report.completed if tier_dtype(o.tier) == "float32"
+        ]
+        assert served_float32, "overload on the fast ladder should reach float32 rungs"
+        assert any("/float32" in name for name in report.tier_histogram())
+
+    def test_build_job_carries_plan_into_data_plane(self):
+        scheduler = self._scheduler(max_shards=4)
+        job = scheduler.build_job(request(0), (1, "fp16", "float32"), shards=3)
+        assert job.lod == 1
+        assert job.quant == "fp16"
+        assert job.dtype == "float32"
+        assert job.shards == 3
+
+    def test_summary_reports_max_shards(self):
+        scheduler = self._scheduler(max_shards=4)
+        report = scheduler.run([request(0)], SPEC)
+        assert report.summary()["policy"]["max_shards"] == 4
