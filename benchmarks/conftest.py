@@ -89,6 +89,22 @@ def save_json(results_dir):
     return _save
 
 
+@pytest.fixture(scope="session")
+def save_trace(results_dir):
+    """Return a helper that writes one run's Chrome trace_event JSON.
+
+    Written as ``benchmarks/results/<name>.trace.json`` — loadable in
+    Perfetto / ``chrome://tracing`` — so the per-stage latency breakdowns
+    in EXPERIMENTS.md can be regenerated from benchmark runs.
+    """
+
+    def _save(name: str, payload: dict) -> None:
+        path = results_dir / f"{name}.trace.json"
+        path.write_text(json.dumps(payload, indent=1) + "\n")
+
+    return _save
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -40,6 +40,7 @@ LRU of decoded tiers so warm/cold accounting works there too.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import tempfile
 import threading
@@ -72,6 +73,8 @@ from repro.exec.payload import (
 )
 from repro.exec.worker import DEFAULT_WORKER_CACHE_SIZE, worker_main
 from repro.gaussians.model import GaussianScene
+from repro.obs import DEFAULT_BYTE_BUCKETS, MetricsRegistry, ObsContext, TracerStageHook
+from repro.render.kernels import set_stage_hook
 from repro.store.codec import quant_spec
 
 # Layering invariant: this package sits *below* repro.serve (the farm is a
@@ -86,6 +89,13 @@ DEFAULT_RESIDENT_CACHE_SIZE = 16
 #: Dispatcher poll interval (seconds): bounds result latency and the
 #: worker-liveness detection delay without busy-spinning.
 _POLL_S = 0.02
+
+
+def _maybe_span(tracer, name: str, lane: str | None = None, attrs: dict | None = None):
+    """A tracer span, or a no-op context manager when tracing is off."""
+    if tracer is None:
+        return contextlib.nullcontext()
+    return tracer.span(name, lane=lane, attrs=attrs)
 
 
 @dataclass
@@ -139,11 +149,15 @@ class JobHandle:
         num_frames: int,
         num_workers: int,
         on_frame: Optional[FrameCallback],
+        trace: dict | None = None,
     ) -> None:
         self.job = job
         self.spec = spec
         self.num_frames = num_frames
         self.num_workers = num_workers
+        #: Caller-supplied span attributes (request/client ids) stamped on
+        #: every dispatch span of this job when tracing is enabled.
+        self.trace_attrs = dict(trace) if trace else {}
         self.num_gaussians = 0
         self.ship_bytes = 0
         self.cache_hits = 0
@@ -243,6 +257,10 @@ class _WorkerSlot:
     process: object
     conn: object
     inflight: _FrameTask | None = field(default=None)
+    #: Wall time (``time.time_ns``) the in-flight task was sent; with
+    #: tracing on this anchors the parent-side dispatch ("request") span
+    #: the worker's shipped spans are re-parented under.
+    sent_ns: int = 0
 
 
 class RenderExecutor:
@@ -267,6 +285,12 @@ class RenderExecutor:
         Scene tiers each worker keeps decoded (LRU).
     resident_cache_size:
         Decoded tiers the sequential mode keeps in the parent (LRU).
+    obs:
+        Optional :class:`repro.obs.ObsContext`.  When given, the executor
+        records dispatch/render spans with per-worker lane attribution
+        and feeds counters/histograms into the registry; workers collect
+        locally and piggyback on the result pipe.  Pure side-channel:
+        rendered output is bitwise identical with or without it.
 
     The executor is a context manager; :meth:`shutdown` stops the workers
     and deletes the published payloads.  ``submit`` is thread-safe.
@@ -279,6 +303,7 @@ class RenderExecutor:
         scene_format: str = "npz",
         worker_cache_size: int = DEFAULT_WORKER_CACHE_SIZE,
         resident_cache_size: int = DEFAULT_RESIDENT_CACHE_SIZE,
+        obs: ObsContext | None = None,
     ) -> None:
         if num_workers is None:
             num_workers = usable_cpu_count()
@@ -295,6 +320,11 @@ class RenderExecutor:
         self.scene_format = scene_format
         self.worker_cache_size = worker_cache_size
         self.stats = ExecutorStats()
+        self._obs = obs
+        #: Latest cumulative metrics snapshot per worker id (replaced on
+        #: every reply, merged into ``obs.metrics`` at shutdown) — replace
+        #: semantics make the tallies crash-safe without delta tracking.
+        self._worker_metrics: dict[int, list] = {}
 
         self._lock = threading.RLock()
         self._resident: "OrderedDict[tuple, GaussianScene]" = OrderedDict()
@@ -328,6 +358,7 @@ class RenderExecutor:
         job,
         scene: GaussianScene | None = None,
         on_frame: Optional[FrameCallback] = None,
+        trace: dict | None = None,
     ) -> JobHandle:
         """Queue every frame of ``job`` for rendering; return its handle.
 
@@ -337,15 +368,18 @@ class RenderExecutor:
         the parent as each frame completes — in index order on the
         sequential path, in completion order on the pool path, serialised
         by the executor's single dispatcher thread; an exception it raises
-        fails the job (surfaced by :meth:`JobHandle.result`).
+        fails the job (surfaced by :meth:`JobHandle.result`).  ``trace``
+        optionally carries caller span attributes (e.g. the scheduler's
+        request/client ids) onto every dispatch span of this job; it is
+        ignored without an :class:`~repro.obs.ObsContext`.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("executor is shut down")
             self.stats.jobs_submitted += 1
         if self.sequential:
-            return self._submit_sequential(job, scene, on_frame)
-        return self._submit_pool(job, scene, on_frame)
+            return self._submit_sequential(job, scene, on_frame, trace)
+        return self._submit_pool(job, scene, on_frame, trace)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the executor: drain (or abort) jobs, stop workers, clean up.
@@ -391,6 +425,36 @@ class RenderExecutor:
                     self._tmpdir.cleanup()
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
+        if self._obs is not None:
+            # Fold the final per-worker tallies into the shared registry so
+            # exporters see worker-side counters after the pool is gone.
+            with self._lock:
+                snapshots = list(self._worker_metrics.values())
+                self._worker_metrics.clear()
+            for snapshot in snapshots:
+                self._obs.metrics.merge(snapshot)
+
+    def collect_metrics(self) -> MetricsRegistry:
+        """Aggregate executor metrics into a fresh registry (live or final).
+
+        Merges the shared parent registry with the latest cumulative
+        snapshot of every worker (replace semantics per worker, so nothing
+        double-counts) and derives ``repro_cache_hit_ratio``.  Safe to call
+        mid-run or after shutdown; returns an empty registry when the
+        executor runs without an :class:`~repro.obs.ObsContext`.
+        """
+        registry = MetricsRegistry()
+        if self._obs is not None:
+            registry.merge(self._obs.metrics.snapshot())
+            with self._lock:
+                snapshots = list(self._worker_metrics.values())
+            for snapshot in snapshots:
+                registry.merge(snapshot)
+            hits = registry.value("repro_scene_cache_hits_total") or 0
+            misses = registry.value("repro_scene_cache_misses_total") or 0
+            if hits + misses:
+                registry.gauge("repro_cache_hit_ratio").set(hits / (hits + misses))
+        return registry
 
     def __enter__(self) -> "RenderExecutor":
         return self
@@ -401,53 +465,86 @@ class RenderExecutor:
     # ------------------------------------------------------------------
     # Sequential mode
     # ------------------------------------------------------------------
-    def _submit_sequential(self, job, scene, on_frame) -> JobHandle:
+    def _submit_sequential(self, job, scene, on_frame, trace=None) -> JobHandle:
         """Render in-process immediately; return an already-finished handle.
 
         The parent keeps an LRU of decoded tiers, so repeated jobs on one
         tier skip scene preparation (the sequential analogue of worker
-        residency); hits and misses feed the same accounting.
+        residency); hits and misses feed the same accounting.  With an
+        :class:`~repro.obs.ObsContext` the same request→job→frame span
+        chain as the pool path is recorded on the ``main`` lane, with the
+        kernel stage hook installed for the duration of the job.
         """
         spec = FrameSpec.for_job(job)
-        handle = JobHandle(job, spec, job.num_frames, 0, on_frame)
+        handle = JobHandle(job, spec, job.num_frames, 0, on_frame, trace)
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
+        previous_hook = (
+            set_stage_hook(TracerStageHook(tracer)) if tracer is not None else None
+        )
         try:
-            if scene is None:
-                key = scene_key(job)
-                with self._lock:
-                    hit = key in self._resident
-                    if hit:
-                        self._resident.move_to_end(key)
-                        render_scene = self._resident[key]
-                    else:
-                        render_scene = resolve_render_scene(job)
-                        self._resident[key] = render_scene
-                        if len(self._resident) > self._resident_cache_size:
-                            self._resident.popitem(last=False)
-            else:
-                hit = False
-                render_scene = resolve_render_scene(job, scene)
-            handle.num_gaussians = render_scene.num_gaussians
-            with self._lock:
-                if hit:
-                    handle.cache_hits += 1
-                    self.stats.cache_hits += 1
+            with _maybe_span(
+                tracer,
+                "request",
+                lane="main",
+                attrs={**handle.trace_attrs, "scene": job.scene},
+            ), _maybe_span(tracer, "job", attrs={"frames": job.num_frames}):
+                if scene is None:
+                    key = scene_key(job)
+                    with self._lock:
+                        hit = key in self._resident
+                        if hit:
+                            self._resident.move_to_end(key)
+                            render_scene = self._resident[key]
+                        else:
+                            with _maybe_span(
+                                tracer, "decode", attrs={"tier": "/".join(map(str, key[1:]))}
+                            ) as decode_span:
+                                render_scene = resolve_render_scene(job)
+                            if obs is not None:
+                                obs.metrics.histogram("repro_decode_ms").observe(
+                                    decode_span.dur_ms
+                                )
+                            self._resident[key] = render_scene
+                            if len(self._resident) > self._resident_cache_size:
+                                self._resident.popitem(last=False)
                 else:
-                    handle.cache_misses += 1
-                    self.stats.cache_misses += 1
-            # A sharded job renders each frame as shard partials merged by
-            # the same compositor as the pool path, so sequential output is
-            # the bitwise oracle at every shard count, not just shards=1.
-            num_shards = getattr(job, "shards", 1)
-            for task in enumerate(job.cameras()):
-                try:
-                    record = _render_frame_task(render_scene, task, spec, num_shards)
-                except Exception as exc:
-                    error = FrameRenderError(job.scene, task[0], repr(exc))
-                    error.__cause__ = exc
-                    raise error
-                handle._add_frame(record)
+                    hit = False
+                    with _maybe_span(tracer, "decode", attrs={"tier": "custom"}):
+                        render_scene = resolve_render_scene(job, scene)
+                handle.num_gaussians = render_scene.num_gaussians
                 with self._lock:
-                    self.stats.frames_rendered += 1
+                    if hit:
+                        handle.cache_hits += 1
+                        self.stats.cache_hits += 1
+                    else:
+                        handle.cache_misses += 1
+                        self.stats.cache_misses += 1
+                    if obs is not None:
+                        kind = "hits" if hit else "misses"
+                        obs.metrics.counter(f"repro_scene_cache_{kind}_total").inc()
+                # A sharded job renders each frame as shard partials merged by
+                # the same compositor as the pool path, so sequential output is
+                # the bitwise oracle at every shard count, not just shards=1.
+                num_shards = getattr(job, "shards", 1)
+                for task in enumerate(job.cameras()):
+                    try:
+                        with _maybe_span(tracer, "frame", attrs={"frame": task[0]}):
+                            record = _render_frame_task(
+                                render_scene, task, spec, num_shards
+                            )
+                    except Exception as exc:
+                        error = FrameRenderError(job.scene, task[0], repr(exc))
+                        error.__cause__ = exc
+                        raise error
+                    handle._add_frame(record)
+                    with self._lock:
+                        self.stats.frames_rendered += 1
+                        if obs is not None:
+                            obs.metrics.counter("repro_frames_rendered_total").inc()
+                            obs.metrics.histogram("repro_render_ms").observe(
+                                record.render_ms
+                            )
         except Exception as exc:
             # Recorded on the handle, not raised: result() re-raises, so
             # sequential and pooled failures reach callers the same way.
@@ -455,6 +552,9 @@ class RenderExecutor:
             with self._lock:
                 self.stats.jobs_failed += 1
             return handle
+        finally:
+            if tracer is not None:
+                set_stage_hook(previous_hook)
         with self._lock:
             self.stats.jobs_completed += 1
         return handle
@@ -462,13 +562,13 @@ class RenderExecutor:
     # ------------------------------------------------------------------
     # Pool mode
     # ------------------------------------------------------------------
-    def _submit_pool(self, job, scene, on_frame) -> JobHandle:
+    def _submit_pool(self, job, scene, on_frame, trace=None) -> JobHandle:
         spec = FrameSpec.for_job(job)
         cameras = job.cameras()
         num_shards = getattr(job, "shards", 1)
         work_units = len(cameras) * max(num_shards, 1)
         handle = JobHandle(
-            job, spec, len(cameras), min(self.num_workers, work_units), on_frame
+            job, spec, len(cameras), min(self.num_workers, work_units), on_frame, trace
         )
         lod_scene = resolve_lod_scene(job, scene)
         handle.num_gaussians = lod_scene.num_gaussians
@@ -520,6 +620,12 @@ class RenderExecutor:
         self._payloads[key] = ref
         self.stats.published_payloads += 1
         self.stats.published_bytes += ref.nbytes
+        if self._obs is not None:
+            self._obs.metrics.counter("repro_published_payloads_total").inc()
+            self._obs.metrics.counter("repro_ship_bytes_total").inc(ref.nbytes)
+            self._obs.metrics.histogram(
+                "repro_ship_bytes", buckets=DEFAULT_BYTE_BUCKETS
+            ).observe(ref.nbytes)
         return ref, True
 
     def _ensure_started(self) -> None:
@@ -542,7 +648,7 @@ class RenderExecutor:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
-            args=(worker_id, child_conn, self.worker_cache_size),
+            args=(worker_id, child_conn, self.worker_cache_size, self._obs is not None),
             name=f"repro-exec-worker-{worker_id}",
             daemon=True,
         )
@@ -581,6 +687,7 @@ class RenderExecutor:
                 if task is None:
                     return
                 slot.inflight = task
+                slot.sent_ns = time.time_ns()
                 try:
                     slot.conn.send(
                         (
@@ -612,7 +719,8 @@ class RenderExecutor:
     def _handle_message(self, slot: _WorkerSlot, message) -> None:
         kind = message[0]
         if kind == "ok":
-            _, _, job_id, record, hit, loaded = message
+            _, _, job_id, record, hit, loaded, obs_payload = message
+            self._ingest_worker_obs(slot, obs_payload)
             with self._lock:
                 slot.inflight = None
                 if hit:
@@ -658,7 +766,8 @@ class RenderExecutor:
                     self.stats.jobs_completed += 1
                     self._release_custom_payload(handle)
         else:  # "err"
-            _, _, job_id, index, error, tb = message
+            _, _, job_id, index, error, tb, obs_payload = message
+            self._ingest_worker_obs(slot, obs_payload, error=error)
             with self._lock:
                 slot.inflight = None
                 handle = self._handles.get(job_id)
@@ -671,6 +780,44 @@ class RenderExecutor:
                         f"{error}\n--- worker traceback ---\n{tb}",
                     ),
                 )
+
+    def _ingest_worker_obs(self, slot: _WorkerSlot, obs_payload, error=None) -> None:
+        """Adopt one reply's piggybacked spans/metrics into the parent trace.
+
+        The parent-side dispatch window (``sent_ns`` → now) becomes the
+        ``request`` span on the worker's lane; the worker's shipped span
+        trees (job → frame → shard/render → stages) are re-parented under
+        it, and the worker's cumulative metrics snapshot replaces the
+        previous one for that worker id.
+        """
+        if self._obs is None or obs_payload is None:
+            return
+        recv_ns = time.time_ns()
+        spans, metrics_snapshot = obs_payload
+        tracer = self._obs.tracer
+        lane = f"worker-{slot.worker_id}"
+        task = slot.inflight
+        attrs = {"worker": slot.worker_id}
+        if task is not None:
+            with self._lock:
+                handle = self._handles.get(task.job_id)
+            if handle is not None:
+                attrs.update(handle.trace_attrs)
+            attrs.update(job=task.job_id, frame=task.index, scene=task.ref.key[0])
+            if task.shard is not None:
+                attrs["shard"] = task.shard.index
+        if error is not None:
+            attrs["error"] = error
+        unit = tracer.record(
+            "request",
+            lane=lane,
+            t0_ms=slot.sent_ns / 1e6,
+            dur_ms=(recv_ns - slot.sent_ns) / 1e6,
+            attrs=attrs,
+        )
+        tracer.ingest(spans, parent=unit)
+        with self._lock:
+            self._worker_metrics[slot.worker_id] = metrics_snapshot
 
     def _fail_job(self, job_id: int, error: BaseException) -> None:
         """Abort one job: drop its queued frames, fail its handle."""
@@ -721,6 +868,34 @@ class RenderExecutor:
             except OSError:  # pragma: no cover - already closed
                 pass
             task = slot.inflight
+            if self._obs is not None:
+                # Close the lane in the trace: mark the death, and flush a
+                # partial dispatch span for the task the worker was holding
+                # (its worker-side spans died with it; the parent-side
+                # window is all that remains).
+                tracer = self._obs.tracer
+                lane = f"worker-{slot.worker_id}"
+                now_ms = time.time_ns() / 1e6
+                tracer.instant(
+                    "lane_closed",
+                    lane=lane,
+                    t_ms=now_ms,
+                    attrs={"worker": slot.worker_id, "exit_code": code},
+                )
+                if task is not None:
+                    tracer.record(
+                        "request",
+                        lane=lane,
+                        t0_ms=slot.sent_ns / 1e6,
+                        dur_ms=now_ms - slot.sent_ns / 1e6,
+                        attrs={
+                            "worker": slot.worker_id,
+                            "job": task.job_id,
+                            "frame": task.index,
+                            "error": f"worker process died (exit code {code})",
+                        },
+                    )
+                self._obs.metrics.counter("repro_workers_replaced_total").inc()
             if requeue_inflight and task is not None and task.job_id in self._handles:
                 scene_name = self._handles[task.job_id].job.scene
                 self._fail_job(

@@ -35,11 +35,18 @@ Messages (all plain tuples, pickle-friendly):
   :class:`~repro.exec.frames.ShardSpec` for a tile-range shard of the
   frame, or ``None`` for a whole frame — or ``("stop",)``;
 * worker -> parent: ``("ok", worker_id, job_id, record, hit,
-  loaded_bytes)`` where ``record`` is a
+  loaded_bytes, obs)`` where ``record`` is a
   :class:`~repro.exec.frames.FrameRecord` (whole frame) or a
   :class:`~repro.exec.frames.ShardRecord` (shard partial, merged by the
   parent), or ``("err", worker_id, job_id, frame_index, error_repr,
-  traceback_str)``.
+  traceback_str, obs)``.  ``obs`` piggybacks observability on the result
+  pipe: ``None`` when the executor runs without an
+  :class:`~repro.obs.ObsContext`, else ``(spans, metrics_snapshot)`` —
+  the spans drained since the previous reply (the parent re-parents them
+  under its own dispatch span, preserving lane attribution) and the
+  *cumulative* metrics snapshot of this worker (the parent keeps the
+  latest per worker, so nothing double-counts and the tallies survive a
+  later crash of the worker).
 
 Exceptions inside a frame surface as ``"err"`` tuples rather than killing
 the worker.
@@ -47,6 +54,7 @@ the worker.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import traceback
 from collections import OrderedDict
@@ -83,9 +91,75 @@ def _crash_requested(scene: str, frame_index: int) -> bool:
     return directive is not None and directive == f"{scene}:{frame_index}"
 
 
-def worker_main(worker_id: int, conn, cache_size: int) -> None:
+def _span(tracer, name: str, attrs: dict | None = None):
+    return contextlib.nullcontext() if tracer is None else tracer.span(name, attrs=attrs)
+
+
+def _tier_label(ref) -> str:
+    # key is (scene, lod, quant) or ("custom", n, lod, quant).
+    return "/".join(str(part) for part in ref.key[1:])
+
+
+def _run_task(cache, cache_size, job_id, index, camera, spec, ref, shard, tracer, metrics):
+    """Render one task; record spans/metrics when observability is on."""
+    with _span(tracer, "job", {"job": job_id, "frame": index, "scene": ref.key[0]}):
+        scene = cache.get(ref.key)
+        hit = scene is not None
+        loaded = 0
+        if not hit:
+            with _span(
+                tracer, "decode", {"tier": _tier_label(ref), "bytes": ref.nbytes}
+            ) as decode_span:
+                scene = _SCENE_LOADERS[ref.fmt](ref.path)
+            loaded = ref.nbytes
+            cache[ref.key] = scene
+            if len(cache) > cache_size:
+                cache.popitem(last=False)
+            if metrics is not None:
+                metrics.counter("repro_scene_cache_misses_total").inc()
+                metrics.counter("repro_loaded_bytes_total").inc(loaded)
+                metrics.histogram("repro_decode_ms").observe(decode_span.dur_ms)
+        else:
+            cache.move_to_end(ref.key)
+            if metrics is not None:
+                metrics.counter("repro_scene_cache_hits_total").inc()
+        with _span(tracer, "frame", {"frame": index}):
+            if shard is None:
+                with _span(tracer, "render"):
+                    record = _render_one(scene, (index, camera), spec)
+            else:
+                with _span(
+                    tracer,
+                    "shard",
+                    {
+                        "shard": shard.index,
+                        "num_shards": shard.num_shards,
+                        "tiles": [shard.tile_lo, shard.tile_hi],
+                    },
+                ):
+                    record = _render_one_shard(scene, (index, camera), spec, shard)
+        if metrics is not None:
+            metrics.histogram("repro_render_ms").observe(record.render_ms)
+            kind = "repro_frames_rendered_total" if shard is None else "repro_shards_rendered_total"
+            metrics.counter(kind).inc()
+    return record, hit, loaded
+
+
+def worker_main(worker_id: int, conn, cache_size: int, obs_enabled: bool = False) -> None:
     """Run one worker: render tasks forever against a resident scene cache."""
     cache: OrderedDict[tuple, object] = OrderedDict()
+    tracer = metrics = None
+    if obs_enabled:
+        # Private per-process collectors; drained spans and cumulative
+        # metric snapshots ship back with every reply.  The stage hook is
+        # installed here (this process) so kernel-level project/pair/blend
+        # spans nest under this worker's frame spans.
+        from repro.obs import MetricsRegistry, Tracer, TracerStageHook
+        from repro.render.kernels import set_stage_hook
+
+        tracer = Tracer(origin=f"w{worker_id}", default_lane=f"worker-{worker_id}")
+        metrics = MetricsRegistry()
+        set_stage_hook(TracerStageHook(tracer))
     while True:
         try:
             message = conn.recv()
@@ -97,24 +171,16 @@ def worker_main(worker_id: int, conn, cache_size: int) -> None:
         if _crash_requested(ref.key[0], index):  # pragma: no cover - exits
             os._exit(_CRASH_EXIT_CODE)
         try:
-            scene = cache.get(ref.key)
-            hit = scene is not None
-            loaded = 0
-            if not hit:
-                scene = _SCENE_LOADERS[ref.fmt](ref.path)
-                loaded = ref.nbytes
-                cache[ref.key] = scene
-                if len(cache) > cache_size:
-                    cache.popitem(last=False)
-            else:
-                cache.move_to_end(ref.key)
-            if shard is None:
-                record = _render_one(scene, (index, camera), spec)
-            else:
-                record = _render_one_shard(scene, (index, camera), spec, shard)
+            record, hit, loaded = _run_task(
+                cache, cache_size, job_id, index, camera, spec, ref, shard, tracer, metrics
+            )
         except Exception as exc:
+            if metrics is not None:
+                metrics.counter("repro_task_errors_total").inc()
+            obs = None if tracer is None else (tracer.drain(), metrics.snapshot())
             conn.send(
-                ("err", worker_id, job_id, index, repr(exc), traceback.format_exc())
+                ("err", worker_id, job_id, index, repr(exc), traceback.format_exc(), obs)
             )
             continue
-        conn.send(("ok", worker_id, job_id, record, hit, loaded))
+        obs = None if tracer is None else (tracer.drain(), metrics.snapshot())
+        conn.send(("ok", worker_id, job_id, record, hit, loaded, obs))

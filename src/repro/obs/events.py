@@ -1,0 +1,53 @@
+"""Structured event log: the schema behind the scheduler's decision log.
+
+One entry per decision event, shaped exactly like the scheduler's
+historical ``EventLog`` entries so committed decision-log replays stay
+byte-identical::
+
+    {"t_ms": <rounded virtual ms>, "event": <kind>, **fields}
+
+``StructuredEventLog`` adds *sinks* — callables invoked with each entry
+as it is emitted — which is how decision events are teed into a tracer
+as virtual-clock instants without the log itself changing: sinks see the
+same dict that is appended, and emit order is the replay order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["StructuredEventLog"]
+
+
+class StructuredEventLog:
+    """Append-only log of ``{"t_ms", "event", **fields}`` entries."""
+
+    def __init__(self, sinks: tuple[Callable[[dict], None], ...] = ()):
+        self._events: list[dict] = []
+        self._sinks: list[Callable[[dict], None]] = list(sinks)
+
+    def add_sink(self, sink: Callable[[dict], None]) -> None:
+        """Tee every future entry into ``sink(entry)`` (pure side-channel)."""
+        self._sinks.append(sink)
+
+    def emit(self, t_ms: float, event: str, **fields) -> dict:
+        """Record one event at virtual time ``t_ms``; returns the entry."""
+        entry = {"t_ms": round(float(t_ms), 6), "event": event, **fields}
+        self._events.append(entry)
+        for sink in self._sinks:
+            sink(entry)
+        return entry
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    def counts(self) -> dict[str, int]:
+        """How many events of each kind, sorted by kind."""
+        out: dict[str, int] = {}
+        for entry in self._events:
+            out[entry["event"]] = out.get(entry["event"], 0) + 1
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,321 @@
+"""Exporters: Chrome ``trace_event`` JSON, Prometheus text, JSON lines.
+
+Chrome trace layout (open in Perfetto or chrome://tracing):
+
+* pid 1, "wall clock" — one thread (lane) per worker slot plus ``main``;
+  wall spans become ``"X"`` complete events whose microsecond timestamps
+  are rebased to the earliest span, so nesting (request → job → frame →
+  shard → stages) renders as stacked slices per lane.
+* pid 2, "virtual clock" — the scheduler's deterministic timeline;
+  decision-log instants become ``"i"`` events and virtual request spans
+  become ``"b"``/``"e"`` async pairs (requests of one client overlap, so
+  they cannot be complete events on a single thread track).
+
+``validate_chrome_trace`` is the schema check CI's obs-smoke job runs:
+events well-formed, wall spans strictly nested per lane, expected worker
+lanes present, and every shard/render/decode span reachable from a
+``request`` root through the documented chain.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import WALL, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "spans_jsonl",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "validate_chrome_trace",
+    "export_trace",
+    "export_metrics",
+]
+
+_WALL_PID = 1
+_VIRTUAL_PID = 2
+
+# Tolerance (µs) for nesting checks: span starts come from time_ns and
+# durations from perf_counter deltas, so sibling boundaries can disagree
+# by sub-µs clock-source skew.
+_NEST_EPS_US = 5.0
+
+
+def _lane_sort_key(lane: str) -> tuple:
+    if lane == "main":
+        return (0, 0, lane)
+    if lane.startswith("worker-"):
+        suffix = lane.split("-", 1)[1]
+        if suffix.isdigit():
+            return (1, int(suffix), lane)
+    return (2, 0, lane)
+
+
+def _lane_tids(lanes: Iterable[str]) -> dict[str, int]:
+    return {lane: i + 1 for i, lane in enumerate(sorted(set(lanes), key=_lane_sort_key))}
+
+
+def chrome_trace(records: list[dict]) -> dict:
+    """Render span records as a Chrome ``trace_event`` JSON object."""
+    wall = [r for r in records if r.get("clock", WALL) == WALL]
+    virtual = [r for r in records if r.get("clock", WALL) != WALL]
+    events: list[dict] = []
+
+    def metadata(pid: int, process: str, tids: dict[str, int]) -> None:
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": process},
+        })
+        for lane, tid in tids.items():
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": lane},
+            })
+
+    def args_of(record: dict) -> dict:
+        args = {"span_id": record["id"]}
+        if record.get("parent"):
+            args["parent"] = record["parent"]
+        args.update(record.get("attrs") or {})
+        return args
+
+    if wall:
+        tids = _lane_tids(r["lane"] for r in wall)
+        metadata(_WALL_PID, "wall clock", tids)
+        t0 = min(r["t0_ms"] for r in wall)
+        for r in wall:
+            base = {
+                "name": r["name"], "pid": _WALL_PID, "tid": tids[r["lane"]],
+                "ts": (r["t0_ms"] - t0) * 1e3, "args": args_of(r),
+            }
+            if r["dur_ms"] is None:
+                events.append({**base, "ph": "i", "s": "t"})
+            else:
+                events.append({**base, "ph": "X", "dur": r["dur_ms"] * 1e3})
+
+    if virtual:
+        tids = _lane_tids(r["lane"] for r in virtual)
+        metadata(_VIRTUAL_PID, "virtual clock", tids)
+        for r in virtual:
+            base = {
+                "name": r["name"], "pid": _VIRTUAL_PID, "tid": tids[r["lane"]],
+                "ts": r["t0_ms"] * 1e3, "args": args_of(r),
+            }
+            if r["dur_ms"] is None:
+                events.append({**base, "ph": "i", "s": "t"})
+            else:
+                # Async begin/end pair: one client's requests overlap.
+                events.append({**base, "ph": "b", "cat": r["name"], "id": r["id"]})
+                events.append({
+                    "ph": "e", "cat": r["name"], "id": r["id"], "name": r["name"],
+                    "pid": _VIRTUAL_PID, "tid": tids[r["lane"]],
+                    "ts": (r["t0_ms"] + r["dur_ms"]) * 1e3,
+                })
+
+    order = {"M": 0}
+    events.sort(key=lambda e: (order.get(e["ph"], 1), e.get("ts", 0.0)))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_jsonl(records: list[dict]) -> str:
+    """Span records as JSON lines (one raw record per line)."""
+    return "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+
+
+def export_trace(path: str, tracer: Tracer) -> None:
+    """Write a tracer's spans to ``path`` — ``.jsonl`` selects the raw
+    JSON-lines dump, anything else the Chrome trace JSON."""
+    records = tracer.spans
+    with open(path, "w", encoding="utf-8") as fh:
+        if str(path).endswith(".jsonl"):
+            fh.write(spans_jsonl(records))
+        else:
+            json.dump(chrome_trace(records), fh, indent=1)
+            fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _fmt_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name, labels, series in registry.series():
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {series.kind}")
+        if series.kind == "histogram":
+            cumulative = series.cumulative()
+            for bound, count in zip(series.buckets, cumulative):
+                lines.append(
+                    f"{name}_bucket{_fmt_labels(labels, {'le': _fmt_value(bound)})} {count}"
+                )
+            lines.append(f"{name}_bucket{_fmt_labels(labels, {'le': '+Inf'})} {cumulative[-1]}")
+            lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(series.sum)}")
+            lines.append(f"{name}_count{_fmt_labels(labels)} {series.count}")
+        else:
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(series.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``{"name{labels}": value}``.
+
+    A deliberately small parser — enough for tests and the CI smoke job
+    to assert the exposition is well-formed and specific series landed.
+    Raises ``ValueError`` on any malformed line.
+    """
+    out: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            if line.startswith("# TYPE"):
+                parts = line.split()
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                    raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+            continue
+        try:
+            series, value = line.rsplit(" ", 1)
+            out[series] = float(value)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad sample line {line!r}") from exc
+        if "{" in series and not series.endswith("}"):
+            raise ValueError(f"line {lineno}: unbalanced labels in {line!r}")
+    return out
+
+
+def export_metrics(path: str, registry: MetricsRegistry) -> None:
+    """Write the registry to ``path`` in Prometheus text format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(registry))
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace validation (used by tests and the CI obs-smoke job)
+# ---------------------------------------------------------------------------
+
+_REQUIRED_KEYS = {
+    "X": ("name", "pid", "tid", "ts", "dur"),
+    "i": ("name", "pid", "tid", "ts"),
+    "b": ("name", "pid", "tid", "ts", "id", "cat"),
+    "e": ("name", "pid", "tid", "ts", "id", "cat"),
+    "M": ("name", "pid", "args"),
+}
+
+# The documented span chain: what must appear among the ancestors of a
+# leaf-ish span for the trace to count as properly nested.
+_CHAIN_ANCESTORS = {
+    "shard": {"frame", "job", "request"},
+    "render": {"frame", "job", "request"},
+    "frame": {"job", "request"},
+    "decode": {"job", "request"},
+}
+
+
+def validate_chrome_trace(payload: dict, expect_lanes: Iterable[str] = ()) -> dict:
+    """Check a Chrome-trace payload's schema; raise ``ValueError`` if bad.
+
+    Verifies: well-formed events (required keys per phase), wall-clock
+    spans properly nested per lane (no partial overlaps), every lane in
+    ``expect_lanes`` present, every ``b`` has a matching ``e``, and every
+    wall shard/render/decode/frame span sits under its documented
+    request→job→frame ancestry.  Returns a small summary dict.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents missing or empty")
+
+    lanes: dict[tuple[int, int], str] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValueError(f"event {i} malformed: {event!r}")
+        required = _REQUIRED_KEYS.get(event["ph"])
+        if required is None:
+            raise ValueError(f"event {i}: unknown phase {event['ph']!r}")
+        missing = [k for k in required if k not in event]
+        if missing:
+            raise ValueError(f"event {i} ({event['ph']!r}) missing {missing}")
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            lanes[(event["pid"], event["tid"])] = event["args"]["name"]
+
+    lane_names = set(lanes.values())
+    for lane in expect_lanes:
+        if lane not in lane_names:
+            raise ValueError(f"expected lane {lane!r} absent (have {sorted(lane_names)})")
+
+    # Async begin/end pairing on the virtual track.
+    open_async: dict[tuple, int] = {}
+    for event in events:
+        if event["ph"] == "b":
+            key = (event["cat"], event["id"])
+            open_async[key] = open_async.get(key, 0) + 1
+        elif event["ph"] == "e":
+            key = (event["cat"], event["id"])
+            if open_async.get(key, 0) <= 0:
+                raise ValueError(f"async end without begin: {key}")
+            open_async[key] -= 1
+    dangling = {k: v for k, v in open_async.items() if v}
+    if dangling:
+        raise ValueError(f"async begins without ends: {sorted(dangling)}")
+
+    # Per-lane strict nesting of wall complete events + ancestry chains.
+    span_names: dict[str, int] = {}
+    by_lane: dict[tuple[int, int], list[dict]] = {}
+    for event in events:
+        if event["ph"] == "X":
+            by_lane.setdefault((event["pid"], event["tid"]), []).append(event)
+    for key, lane_events in by_lane.items():
+        lane = lanes.get(key, str(key))
+        lane_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: list[tuple[str, float]] = []  # (name, end_ts)
+        for event in lane_events:
+            end = event["ts"] + event["dur"]
+            while stack and event["ts"] >= stack[-1][1] - _NEST_EPS_US:
+                stack.pop()
+            if stack and end > stack[-1][1] + _NEST_EPS_US:
+                raise ValueError(
+                    f"lane {lane!r}: span {event['name']!r} at ts={event['ts']:.1f} "
+                    f"overlaps {stack[-1][0]!r} without nesting"
+                )
+            name = event["name"]
+            span_names[name] = span_names.get(name, 0) + 1
+            needed = _CHAIN_ANCESTORS.get(name)
+            if needed is not None:
+                ancestors = {n for n, _ in stack}
+                if not needed <= ancestors:
+                    raise ValueError(
+                        f"lane {lane!r}: {name!r} span missing ancestors "
+                        f"{sorted(needed - ancestors)} (stack: {[n for n, _ in stack]})"
+                    )
+            stack.append((name, end))
+
+    return {
+        "events": len(events),
+        "lanes": sorted(lane_names, key=_lane_sort_key),
+        "spans": dict(sorted(span_names.items())),
+    }

@@ -1,0 +1,203 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Recording is a plain attribute increment under the GIL — no lock, no
+atomics — which is safe because each process records into its *own*
+registry; cross-process aggregation happens explicitly through
+``snapshot()`` (a picklable list of dicts) and ``merge()``.
+
+Merges are exact and associative for counters and histograms: bucket
+counts and counter values are integers-or-float-sums added elementwise,
+so merging worker snapshots in any order (or any grouping) yields the
+same registry.  Gauges are last-write-wins by construction — a gauge is
+a statement of current state, not a sum — and callers who need
+per-worker gauges should label them.
+
+Histogram buckets follow Prometheus conventions: ``le`` upper bounds are
+inclusive, and an implicit ``+Inf`` bucket catches the rest, so
+``counts`` has ``len(buckets) + 1`` entries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_BYTE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+# Log-ish spacing from sub-millisecond stage costs up to multi-second
+# cold dispatches; shared by every *_ms histogram so merges line up.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0,
+)
+
+DEFAULT_BYTE_BUCKETS = tuple(float(1 << p) for p in range(10, 31, 2))  # 1 KiB .. 1 GiB
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value; ``set`` replaces, merge is last-write-wins."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with inclusive ``le`` bounds plus ``+Inf``."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS):
+        self.buckets = tuple(float(b) for b in buckets)
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ValueError(f"histogram buckets must be sorted and unique: {buckets!r}")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Prometheus-style cumulative bucket counts (ending at +Inf)."""
+        total, out = 0, []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+
+def _label_key(labels: dict | None) -> tuple:
+    return tuple(sorted(labels.items())) if labels else ()
+
+
+class MetricsRegistry:
+    """Get-or-create series keyed by ``(name, labels)``; snapshot/merge."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple, object] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def _get(self, name: str, labels: dict | None, factory, kind: str):
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = factory()
+        elif series.kind != kind:
+            raise ValueError(f"metric {name!r} already registered as {series.kind}")
+        return series
+
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        return self._get(name, labels, Counter, "counter")
+
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        return self._get(name, labels, Gauge, "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict | None = None,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        return self._get(name, labels, lambda: Histogram(buckets), "histogram")
+
+    # -- reading -----------------------------------------------------------
+
+    def value(self, name: str, labels: dict | None = None):
+        """The current value of a counter/gauge, or None if unrecorded."""
+        series = self._series.get((name, _label_key(labels)))
+        return None if series is None else series.value
+
+    def labeled_values(self, name: str) -> list[tuple[dict, int | float]]:
+        """Every ``(labels, value)`` of a counter/gauge family, sorted."""
+        out = []
+        for (series_name, label_key), series in sorted(self._series.items()):
+            if series_name == name and series.kind in ("counter", "gauge"):
+                out.append((dict(label_key), series.value))
+        return out
+
+    def series(self) -> list[tuple[str, dict, object]]:
+        """Every ``(name, labels, series)`` sorted by name then labels."""
+        return [
+            (name, dict(label_key), series)
+            for (name, label_key), series in sorted(self._series.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # -- aggregation -------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """A picklable/JSON-safe dump of every series (for merge/export)."""
+        out = []
+        for name, labels, series in self.series():
+            entry = {"kind": series.kind, "name": name, "labels": labels}
+            if series.kind == "histogram":
+                entry.update(
+                    buckets=list(series.buckets),
+                    counts=list(series.counts),
+                    sum=series.sum,
+                    count=series.count,
+                )
+            else:
+                entry["value"] = series.value
+            out.append(entry)
+        return out
+
+    def merge(self, snapshot: list[dict]) -> None:
+        """Fold a snapshot in: counters add, gauges replace, histograms add.
+
+        Histogram merges require identical bucket bounds (everything in
+        this codebase shares the fixed default buckets per metric name);
+        a mismatch raises rather than silently mis-binning.
+        """
+        for entry in snapshot:
+            kind, name, labels = entry["kind"], entry["name"], entry["labels"]
+            if kind == "counter":
+                self.counter(name, labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name, labels).set(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, labels, buckets=entry["buckets"])
+                if list(hist.buckets) != [float(b) for b in entry["buckets"]]:
+                    raise ValueError(
+                        f"bucket mismatch merging histogram {name!r}: "
+                        f"{list(hist.buckets)} vs {entry['buckets']}"
+                    )
+                for i, c in enumerate(entry["counts"]):
+                    hist.counts[i] += c
+                hist.sum += entry["sum"]
+                hist.count += entry["count"]
+            else:
+                raise ValueError(f"unknown series kind {kind!r}")

@@ -49,6 +49,56 @@ TILE_CHUNK = 256
 
 
 # ----------------------------------------------------------------------
+# Stage-level span hook
+# ----------------------------------------------------------------------
+class NullStageHook:
+    """Default no-op stage hook: ``stage()`` returns a shared null CM.
+
+    The render path calls ``stage_hook().stage("project"|"pair_build"|
+    "blend")`` around its pipeline stages.  By default that is this
+    do-nothing hook (one attribute lookup and a pre-built context
+    manager — no timing, no allocation), so rendering pays essentially
+    nothing when observability is off.  ``repro.obs.TracerStageHook``
+    swaps in real span recording via :func:`set_stage_hook`.
+    """
+
+    class _NullContext:
+        __slots__ = ()
+
+        def __enter__(self):
+            return None
+
+        def __exit__(self, exc_type, exc, tb):
+            return False
+
+    _NULL = _NullContext()
+
+    def stage(self, name, **attrs):
+        return self._NULL
+
+
+_stage_hook = NullStageHook()
+
+
+def stage_hook():
+    """The currently installed stage hook (never None)."""
+    return _stage_hook
+
+
+def set_stage_hook(hook):
+    """Install ``hook`` (``None`` restores the no-op); returns the previous.
+
+    Process-global by design: worker processes install their own hook
+    bound to their private tracer, and the executor's sequential path
+    installs/restores one around each job.
+    """
+    global _stage_hook
+    previous = _stage_hook
+    _stage_hook = hook if hook is not None else NullStageHook()
+    return previous
+
+
+# ----------------------------------------------------------------------
 # Tile-wise (standard dataflow) kernels
 # ----------------------------------------------------------------------
 def shard_intervals(num_tiles: int, num_shards: int) -> list[tuple[int, int]]:

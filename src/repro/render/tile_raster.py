@@ -68,6 +68,7 @@ from repro.render.kernels import (
     TILE_CHUNK,
     batched_tile_alpha,
     sequential_blend,
+    stage_hook,
     subtile_evaluation_count,
     tile_interval_slice,
 )
@@ -416,7 +417,8 @@ def render_tilewise(
             )
         tile_shard = (lo, hi)
 
-    projected = project_scene(scene, camera, config)
+    with stage_hook().stage("project"):
+        projected = project_scene(scene, camera, config)
     stats = TileWiseStats(
         width=width,
         height=height,
@@ -435,9 +437,10 @@ def render_tilewise(
             image=image, stats=stats, projected=projected, tile_shard=tile_shard
         )
 
-    tile_ids, gaussian_rows, num_tiles_x = _build_tile_pairs(
-        projected, width, height, tile_size
-    )
+    with stage_hook().stage("pair_build"):
+        tile_ids, gaussian_rows, num_tiles_x = _build_tile_pairs(
+            projected, width, height, tile_size
+        )
     stats.num_tile_pairs = int(tile_ids.size)
     stats.num_assigned = int(np.unique(gaussian_rows).size) if tile_ids.size else 0
 
@@ -455,56 +458,57 @@ def render_tilewise(
         t_lo, t_hi = owned.start, owned.stop
     stats.num_occupied_tiles = t_hi - t_lo
 
-    for t_index in range(t_lo, t_hi):
-        tile_id = unique_tiles[t_index]
-        start, stop = tile_bounds[t_index], tile_bounds[t_index + 1]
-        rows = gaussian_rows[start:stop]
+    with stage_hook().stage("blend", tiles=t_hi - t_lo):
+        for t_index in range(t_lo, t_hi):
+            tile_id = unique_tiles[t_index]
+            start, stop = tile_bounds[t_index], tile_bounds[t_index + 1]
+            rows = gaussian_rows[start:stop]
 
-        ty, tx = divmod(int(tile_id), num_tiles_x)
-        x0, y0 = tx * tile_size, ty * tile_size
-        x1, y1 = min(x0 + tile_size, width), min(y0 + tile_size, height)
+            ty, tx = divmod(int(tile_id), num_tiles_x)
+            x0, y0 = tx * tile_size, ty * tile_size
+            x1, y1 = min(x0 + tile_size, width), min(y0 + tile_size, height)
 
-        tile_color = color_accum[y0:y1, x0:x1].reshape(-1, 3)
-        tile_trans = transmittance[y0:y1, x0:x1].reshape(-1)
+            tile_color = color_accum[y0:y1, x0:x1].reshape(-1, 3)
+            tile_trans = transmittance[y0:y1, x0:x1].reshape(-1)
 
-        if config.backend == "reference":
-            xs = np.arange(x0, x1, dtype=dtype)
-            ys = np.arange(y0, y1, dtype=dtype)
-            grid_x, grid_y = np.meshgrid(xs, ys)
-            _render_tile_reference(
-                rows,
-                view,
-                grid_x,
-                grid_y,
-                tile_color,
-                tile_trans,
-                config,
-                obb_subtile_skip,
-                subtile,
-                stats,
-                processed_rows,
-                rendered_rows,
-            )
-        else:
-            _render_tile_vectorized(
-                rows,
-                view,
-                x0,
-                y0,
-                x1,
-                y1,
-                tile_color,
-                tile_trans,
-                config,
-                obb_subtile_skip,
-                subtile,
-                stats,
-                processed_rows,
-                rendered_rows,
-            )
+            if config.backend == "reference":
+                xs = np.arange(x0, x1, dtype=dtype)
+                ys = np.arange(y0, y1, dtype=dtype)
+                grid_x, grid_y = np.meshgrid(xs, ys)
+                _render_tile_reference(
+                    rows,
+                    view,
+                    grid_x,
+                    grid_y,
+                    tile_color,
+                    tile_trans,
+                    config,
+                    obb_subtile_skip,
+                    subtile,
+                    stats,
+                    processed_rows,
+                    rendered_rows,
+                )
+            else:
+                _render_tile_vectorized(
+                    rows,
+                    view,
+                    x0,
+                    y0,
+                    x1,
+                    y1,
+                    tile_color,
+                    tile_trans,
+                    config,
+                    obb_subtile_skip,
+                    subtile,
+                    stats,
+                    processed_rows,
+                    rendered_rows,
+                )
 
-        color_accum[y0:y1, x0:x1] = tile_color.reshape(y1 - y0, x1 - x0, 3)
-        transmittance[y0:y1, x0:x1] = tile_trans.reshape(y1 - y0, x1 - x0)
+            color_accum[y0:y1, x0:x1] = tile_color.reshape(y1 - y0, x1 - x0, 3)
+            transmittance[y0:y1, x0:x1] = tile_trans.reshape(y1 - y0, x1 - x0)
 
     stats.num_distinct_processed = int(np.count_nonzero(processed_rows))
     stats.num_rendered = int(np.count_nonzero(rendered_rows))

@@ -29,6 +29,7 @@ import sys
 from repro.eval.reporting import format_table
 from repro.eval.scenes import EVAL_SCENES
 from repro.gaussians.synthetic import BENCHMARK_SCENES
+from repro.obs import ObsContext, export_metrics, export_trace
 from repro.render.common import BACKENDS
 from repro.sched.qos import (
     DEFAULT_LADDER,
@@ -245,6 +246,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include the full decision event log in the report (implies --json)",
     )
+    output.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help=(
+            "write a trace of the run to PATH: Chrome trace_event JSON "
+            "(open in Perfetto / chrome://tracing) or raw span JSON-lines "
+            "when PATH ends in .jsonl; decision-plane spans use the virtual "
+            "clock, data-plane spans (with --execute) the wall clock"
+        ),
+    )
+    output.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write run metrics to PATH in Prometheus text exposition format",
+    )
     return parser
 
 
@@ -333,6 +349,7 @@ def main(argv: list[str] | None = None) -> int:
         slo_ms=args.slo_ms,
         seed=args.seed,
     )
+    obs = ObsContext.create() if (args.trace_out or args.metrics_out) else None
     with RequestScheduler(
         policy=SchedulerPolicy(
             num_workers=args.workers,
@@ -344,8 +361,14 @@ def main(argv: list[str] | None = None) -> int:
         qos=build_controller(args),
         quick=args.quick,
         execute=args.execute,
+        obs=obs,
     ) as scheduler:
         report = run_workload(spec, scheduler)
+    if obs is not None:
+        if args.trace_out:
+            export_trace(args.trace_out, obs.tracer)
+        if args.metrics_out:
+            export_metrics(args.metrics_out, obs.metrics)
     if args.json or args.events:
         print(
             json.dumps(

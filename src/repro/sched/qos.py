@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.events import StructuredEventLog
 from repro.render.common import DTYPES
 from repro.store.codec import QUANT_SPECS
 
@@ -103,38 +104,21 @@ def tier_name(tier: Tier) -> str:
     return name if dtype == "float64" else f"{name}/{dtype}"
 
 
-class EventLog:
+class EventLog(StructuredEventLog):
     """Append-only structured record of every scheduling/QoS decision.
 
     Entries are plain dicts with at least ``t_ms`` (virtual-clock timestamp)
     and ``event`` (the decision kind); emitters attach whatever fields
     describe the decision.  The log is JSON-serialisable as-is and list
     equality is the determinism check two same-seed runs must pass.
+
+    Since the observability PR this is the scheduler-facing name of
+    :class:`repro.obs.StructuredEventLog`: entry construction (and hence
+    every committed decision-log replay) is byte-identical to the historic
+    implementation, and the inherited *sink* mechanism is how decision
+    events are teed into a tracer as virtual-clock instants without the
+    log itself changing.
     """
-
-    def __init__(self) -> None:
-        self._events: list[dict] = []
-
-    def emit(self, t_ms: float, event: str, **fields) -> dict:
-        """Record one decision and return the entry just logged."""
-        entry = {"t_ms": round(float(t_ms), 6), "event": event, **fields}
-        self._events.append(entry)
-        return entry
-
-    @property
-    def events(self) -> list[dict]:
-        """The entries in emission order (the live list, do not mutate)."""
-        return self._events
-
-    def counts(self) -> dict[str, int]:
-        """Number of logged entries per event kind, sorted by kind."""
-        totals: dict[str, int] = {}
-        for entry in self._events:
-            totals[entry["event"]] = totals.get(entry["event"], 0) + 1
-        return dict(sorted(totals.items()))
-
-    def __len__(self) -> int:
-        return len(self._events)
 
 
 @dataclass(frozen=True)

@@ -67,6 +67,7 @@ import numpy as np
 from repro.eval.scenes import eval_preset
 from repro.exec.executor import RenderExecutor
 from repro.gaussians.synthetic import scaled_image_size, scene_spec
+from repro.obs import VIRTUAL, MetricsRegistry, ObsContext
 from repro.render.common import BACKENDS
 from repro.sched.qos import (
     EventLog,
@@ -359,6 +360,11 @@ class ScheduleReport:
     #: Data-plane residency accounting aggregated off the executor
     #: (``None`` on virtual-only runs).
     data_plane: dict | None = None
+    #: Per-run metrics registry (decision-plane counters/histograms:
+    #: requests by status, dispatch warmth, per-tier served counts,
+    #: queue-wait/service/e2e histograms).  ``None`` only for reports
+    #: constructed by hand without a run.
+    metrics: MetricsRegistry | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -401,7 +407,22 @@ class ScheduleReport:
         return self.num_slo_met / span_s if span_s > 0 else 0.0
 
     def tier_histogram(self) -> dict[str, int]:
-        """Dispatched requests per served tier (tier-name keyed, sorted)."""
+        """Dispatched requests per served tier (tier-name keyed, sorted).
+
+        Served from the run's metrics registry (the per-tier counter the
+        scheduler increments at each completion); reports built without a
+        registry fall back to recounting the outcomes — both paths produce
+        identical dicts.
+        """
+        if self.metrics is not None:
+            return dict(
+                sorted(
+                    (labels["tier"], value)
+                    for labels, value in self.metrics.labeled_values(
+                        "repro_sched_tier_served_total"
+                    )
+                )
+            )
         totals: dict[str, int] = {}
         for outcome in self.completed:
             key = tier_name(outcome.tier)
@@ -528,8 +549,15 @@ class RequestScheduler:
         execute: bool = False,
         farm: RenderFarm | None = None,
         executor: RenderExecutor | None = None,
+        obs: ObsContext | None = None,
     ) -> None:
         self.policy = policy or SchedulerPolicy()
+        #: Optional observability context: decision events are teed into
+        #: the tracer as virtual-clock instants, completed requests become
+        #: virtual request/queue_wait/service spans per client lane, and an
+        #: owned executor inherits it for wall-clock data-plane tracing.
+        #: Pure side-channel — decisions and logs are unchanged by it.
+        self._obs = obs
         self.qos = qos if qos is not None else SLOController()
         if self.policy.dataflow != "tilewise" and any(
             tier_dtype(tier) != "float64" for tier in self.qos.ladder
@@ -548,6 +576,7 @@ class RequestScheduler:
                 num_workers=farm.num_workers if farm is not None else self.policy.num_workers,
                 mp_context=farm.mp_context if farm is not None else None,
                 scene_format=farm.scene_format if farm is not None else "npz",
+                obs=obs,
             )
             self._owns_executor = True
         self.executor = executor
@@ -580,6 +609,27 @@ class RequestScheduler:
         # ``report.log``.
         self.qos.reset(EventLog())
         log = self.qos.log
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
+        # Per-run metrics registry: the report path (dispatch warmth split,
+        # per-tier histogram, latency histograms) reads these series rather
+        # than hand-rolled dicts.  Recording is a pure function of the
+        # decision sequence, so replayability is untouched.
+        run_metrics = MetricsRegistry()
+        self._run_metrics = run_metrics
+        if tracer is not None:
+            # Tee every decision event into the trace as a virtual-clock
+            # instant on the scheduler lane.  The sink sees the exact entry
+            # the log appends — the log itself (and its replay) unchanged.
+            log.add_sink(
+                lambda entry: tracer.instant(
+                    entry["event"],
+                    lane="scheduler",
+                    t_ms=entry["t_ms"],
+                    clock=VIRTUAL,
+                    attrs={k: v for k, v in entry.items() if k not in ("t_ms", "event")},
+                )
+            )
         outcomes: dict[int, RequestOutcome] = {}
         measured_frame_ms: list[float] = []
         #: Data-plane job handles awaiting drain (submit order).
@@ -588,8 +638,6 @@ class RequestScheduler:
         # tiers dispatched at least once since this run started.  Purely a
         # function of the decision sequence, so replayability is preserved.
         self._touched = set()
-        dispatch_counts = {"cold": 0, "warm": 0}
-        self._dispatch_counts = dispatch_counts
 
         # Event heap: (time, sequence, kind, payload).  Sequence breaks
         # ties deterministically: arrivals are pre-pushed with the lowest
@@ -658,6 +706,9 @@ class RequestScheduler:
                         reason="queue_full",
                         queue_depth=len(queue),
                     )
+                    run_metrics.counter(
+                        "repro_sched_requests_total", {"status": "rejected"}
+                    ).inc()
                     dispatch(now)
                     continue
                 # Feasibility projects the cheapest rung at its best shard
@@ -679,6 +730,9 @@ class RequestScheduler:
                         slo_ms=request.slo_ms,
                         cheapest_tier=tier_name(self.qos.cheapest_tier),
                     )
+                    run_metrics.counter(
+                        "repro_sched_requests_total", {"status": "shed"}
+                    ).inc()
                     dispatch(now)
                     continue
                 outcome.status = "admitted"
@@ -710,6 +764,52 @@ class RequestScheduler:
                     e2e_ms=round(outcome.e2e_ms, 3),
                     slo_met=outcome.slo_met,
                 )
+                run_metrics.counter(
+                    "repro_sched_requests_total", {"status": "completed"}
+                ).inc()
+                run_metrics.counter(
+                    "repro_sched_tier_served_total", {"tier": tier_name(outcome.tier)}
+                ).inc()
+                run_metrics.histogram("repro_sched_queue_wait_ms").observe(
+                    outcome.queue_wait_ms
+                )
+                run_metrics.histogram("repro_sched_service_ms").observe(
+                    outcome.service_ms
+                )
+                run_metrics.histogram("repro_sched_e2e_ms").observe(outcome.e2e_ms)
+                if tracer is not None:
+                    # Virtual-clock span chain per client lane, recorded
+                    # *from* already-decided quantities at completion time.
+                    lane = f"client-{request.client_id}"
+                    span_id = tracer.record(
+                        "request",
+                        lane=lane,
+                        clock=VIRTUAL,
+                        t0_ms=request.arrival_ms,
+                        dur_ms=outcome.e2e_ms,
+                        attrs={
+                            "request": request.request_id,
+                            "scene": request.scene,
+                            "tier": tier_name(outcome.tier),
+                            "slo_met": outcome.slo_met,
+                        },
+                    )
+                    tracer.record(
+                        "queue_wait",
+                        lane=lane,
+                        clock=VIRTUAL,
+                        t0_ms=request.arrival_ms,
+                        dur_ms=outcome.queue_wait_ms,
+                        parent=span_id,
+                    )
+                    tracer.record(
+                        "service",
+                        lane=lane,
+                        clock=VIRTUAL,
+                        t0_ms=request.arrival_ms + outcome.queue_wait_ms,
+                        dur_ms=outcome.service_ms,
+                        parent=span_id,
+                    )
                 self.qos.observe(now, outcome.e2e_ms, request.slo_ms)
                 dispatch(now)
 
@@ -734,6 +834,17 @@ class RequestScheduler:
 
         ordered = [outcomes[r.request_id] for r in requests]
         assert all(o.status in OUTCOME_STATUSES for o in ordered)
+        # The report's warmth split materialises from the registry (same
+        # {"cold": .., "warm": ..} shape as the historical hand-rolled
+        # dict, so summaries and their JSON stay byte-identical).
+        dispatch_counts = {
+            "cold": run_metrics.value("repro_sched_dispatch_total", {"warmth": "cold"})
+            or 0,
+            "warm": run_metrics.value("repro_sched_dispatch_total", {"warmth": "warm"})
+            or 0,
+        }
+        if obs is not None:
+            obs.metrics.merge(run_metrics.snapshot())
         return ScheduleReport(
             spec=spec,
             policy=self.policy,
@@ -745,6 +856,7 @@ class RequestScheduler:
             measured_frame_ms=measured_frame_ms,
             dispatch_counts=dispatch_counts,
             data_plane=data_plane,
+            metrics=run_metrics,
         )
 
     # ------------------------------------------------------------------
@@ -837,6 +949,9 @@ class RequestScheduler:
                 cheapest_service_ms=round(service_ms, 3),
                 slo_ms=request.slo_ms,
             )
+            self._run_metrics.counter(
+                "repro_sched_requests_total", {"status": "shed"}
+            ).inc()
             return False
         entry = {
             "request": request.request_id,
@@ -855,7 +970,9 @@ class RequestScheduler:
         if demoted_from is not None:
             entry["demoted_from"] = tier_name(demoted_from)
         log.emit(now, "dispatch", **entry)
-        self._dispatch_counts["warm" if warm else "cold"] += 1
+        self._run_metrics.counter(
+            "repro_sched_dispatch_total", {"warmth": "warm" if warm else "cold"}
+        ).inc()
         self._touched.add((request.scene, self._scene_tier(tier)))
         outcome.tier = tier
         outcome.shards = shards
@@ -970,6 +1087,11 @@ class RequestScheduler:
         handle = self.executor.submit(
             self.build_job(request, tier, shards),
             on_frame=lambda record: measured_frame_ms.append(record.render_ms),
+            trace={
+                "request": request.request_id,
+                "client": request.client_id,
+                "tier": tier_name(tier),
+            },
         )
         pending_handles.append((outcome, handle))
 

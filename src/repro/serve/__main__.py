@@ -187,6 +187,21 @@ def build_parser() -> argparse.ArgumentParser:
             "(completion order on the worker pool)"
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help=(
+            "write a trace of the run to PATH: Chrome trace_event JSON "
+            "(open in Perfetto / chrome://tracing; one lane per worker, "
+            "spans nest request > job > frame > shard down to kernel "
+            "stages) or raw span JSON-lines when PATH ends in .jsonl"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write run metrics to PATH in Prometheus text exposition format",
+    )
     return parser
 
 
@@ -209,7 +224,9 @@ def _register_scene_file(path: str) -> str:
     return name
 
 
-def run_repeated(job: RenderJob, args: argparse.Namespace, on_frame) -> tuple[list[JobResult], dict]:
+def run_repeated(
+    job: RenderJob, args: argparse.Namespace, on_frame, obs=None
+) -> tuple[list[JobResult], dict]:
     """Run ``job`` ``args.repeat`` times on one persistent executor.
 
     Iteration 1 is the cold pass (worker start-up on the pool path, scene
@@ -221,7 +238,7 @@ def run_repeated(job: RenderJob, args: argparse.Namespace, on_frame) -> tuple[li
 
     results = []
     with RenderExecutor(
-        num_workers=args.workers, mp_context=args.mp_context
+        num_workers=args.workers, mp_context=args.mp_context, obs=obs
     ) as executor:
         for _ in range(args.repeat):
             results.append(executor.submit(job, on_frame=on_frame).result())
@@ -333,7 +350,12 @@ def main(argv: list[str] | None = None) -> int:
         shards=args.shards,
         dtype=args.dtype,
     )
-    farm = RenderFarm(num_workers=args.workers, mp_context=args.mp_context)
+    obs = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import ObsContext
+
+        obs = ObsContext.create()
+    farm = RenderFarm(num_workers=args.workers, mp_context=args.mp_context, obs=obs)
     on_frame = None
     if args.progress:
 
@@ -345,12 +367,19 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if args.repeat > 1:
-        results, stats = run_repeated(job, args, on_frame)
+        results, stats = run_repeated(job, args, on_frame, obs=obs)
         result = results[-1]
         repeat = repeat_summary(results, stats)
     else:
         result = farm.run(job, on_frame=on_frame)
         repeat = None
+    if obs is not None:
+        from repro.obs import export_metrics, export_trace
+
+        if args.trace_out:
+            export_trace(args.trace_out, obs.tracer)
+        if args.metrics_out:
+            export_metrics(args.metrics_out, obs.metrics)
     if args.json:
         summary = result.summary()
         if repeat is not None:

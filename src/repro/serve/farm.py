@@ -89,6 +89,13 @@ class RenderFarm:
         scenes, concurrent with other submitters) and the farm does not
         own — and never shuts down — the pool.  When omitted, each ``run``
         uses a private transient executor (cold per-job pool).
+    obs:
+        Optional :class:`~repro.obs.ObsContext` handed to every transient
+        executor this farm creates, so standalone-farm runs trace and
+        meter like shared-executor runs.  Ignored when a shared
+        ``executor`` is supplied — the executor's own context (set at its
+        construction) governs.  Observability is a pure side channel:
+        rendered output is bitwise identical with or without it.
     """
 
     def __init__(
@@ -97,6 +104,7 @@ class RenderFarm:
         mp_context: str | None = None,
         scene_format: str = "npz",
         executor: RenderExecutor | None = None,
+        obs=None,
     ) -> None:
         if executor is not None:
             num_workers = executor.num_workers
@@ -112,6 +120,7 @@ class RenderFarm:
         self.mp_context = mp_context
         self.scene_format = scene_format
         self.executor = executor
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def run(
@@ -164,7 +173,9 @@ class RenderFarm:
         # single-frame job still spreads its tile-range shards over workers.
         work_units = job.num_frames * max(getattr(job, "shards", 1), 1)
         if self.num_workers <= 1 or work_units <= 1:
-            transient = RenderExecutor(num_workers=0, scene_format=self.scene_format)
+            transient = RenderExecutor(
+                num_workers=0, scene_format=self.scene_format, obs=self.obs
+            )
             return transient.submit(job, scene=scene, on_frame=on_frame).result()
         with RenderExecutor(
             # A transient pool serves exactly this job, so never spawn more
@@ -172,6 +183,7 @@ class RenderFarm:
             num_workers=min(self.num_workers, work_units),
             mp_context=self.mp_context,
             scene_format=self.scene_format,
+            obs=self.obs,
         ) as transient:
             return transient.submit(job, scene=scene, on_frame=on_frame).result()
 

@@ -1,0 +1,93 @@
+"""Observability is a pure side channel: outputs are bitwise unperturbed.
+
+The one property that makes tracing safe to leave on: with an
+:class:`ObsContext` attached, every contract-bearing output — rendered
+images, statistics counters, the scheduler's decision log and report —
+is *bitwise identical* to the same run without observability.  Anything
+less and traces could never be trusted against committed replays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.exec import RenderExecutor
+from repro.obs import ObsContext
+from repro.sched.scheduler import RequestScheduler, run_workload
+from repro.sched.workload import WorkloadSpec
+from repro.serve.trajectories import RenderJob, make_trajectory
+
+#: Two quick presets spanning the store dimensions: the lossless default
+#: tier and a pruned+quantized tier (different codec path, LOD path).
+PRESETS = (
+    dict(lod=0, quant="lossless"),
+    dict(lod=1, quant="compact"),
+)
+
+
+def quick_job(**kwargs) -> RenderJob:
+    return RenderJob(
+        "train", make_trajectory("orbit", num_frames=2), quick=True, **kwargs
+    )
+
+
+def _run(num_workers: int, obs, **preset):
+    with RenderExecutor(num_workers=num_workers, obs=obs) as executor:
+        return executor.submit(quick_job(**preset)).result(timeout=300)
+
+
+def _assert_results_identical(plain, traced) -> None:
+    assert [f.index for f in plain.frames] == [f.index for f in traced.frames]
+    for a, b in zip(plain.frames, traced.frames):
+        assert np.array_equal(a.image, b.image)
+        assert type(a.stats) is type(b.stats)
+        for field in dataclasses.fields(a.stats):
+            va, vb = getattr(a.stats, field.name), getattr(b.stats, field.name)
+            if isinstance(va, np.ndarray):
+                assert np.array_equal(va, vb), field.name
+            else:
+                assert va == vb, field.name
+    assert plain.aggregate_counters() == traced.aggregate_counters()
+
+
+class TestRenderPathUnperturbed:
+    @pytest.mark.parametrize("preset", PRESETS, ids=lambda p: f"lod{p['lod']}-{p['quant']}")
+    def test_sequential_bitwise_identical(self, preset):
+        plain = _run(0, None, **preset)
+        traced = _run(0, ObsContext.create(), **preset)
+        _assert_results_identical(plain, traced)
+
+    @pytest.mark.parametrize("preset", PRESETS, ids=lambda p: f"lod{p['lod']}-{p['quant']}")
+    def test_pool_bitwise_identical(self, preset):
+        plain = _run(2, None, **preset)
+        traced = _run(2, ObsContext.create(), **preset)
+        _assert_results_identical(plain, traced)
+
+    def test_sharded_bitwise_identical(self):
+        plain = _run(2, None, shards=2)
+        traced = _run(2, ObsContext.create(), shards=2)
+        _assert_results_identical(plain, traced)
+
+
+class TestSchedulerUnperturbed:
+    SPEC = WorkloadSpec(
+        arrival="bursty", rate_rps=8, duration_s=3, num_clients=2, slo_ms=250, seed=0
+    )
+
+    def test_decision_log_and_report_identical(self):
+        plain = run_workload(self.SPEC, RequestScheduler(quick=True))
+        obs = ObsContext.create()
+        traced = run_workload(self.SPEC, RequestScheduler(quick=True, obs=obs))
+        # The decision log — the committed replay artifact — is equal as a
+        # list of dicts AND as serialized bytes.
+        assert plain.log.events == traced.log.events
+        assert json.dumps(plain.log.events) == json.dumps(traced.log.events)
+        assert json.dumps(
+            plain.summary(include_events=True), sort_keys=True
+        ) == json.dumps(traced.summary(include_events=True), sort_keys=True)
+        # ... while the traced run actually produced a trace.
+        assert len(obs.tracer) > 0
