@@ -31,6 +31,7 @@ from conftest import run_once
 
 from repro.exec import RenderExecutor
 from repro.exec.frames import usable_cpu_count
+from repro.obs import ObsContext, chrome_trace, validate_chrome_trace
 from repro.serve.farm import RenderFarm
 from repro.serve.trajectories import RenderJob, make_trajectory
 
@@ -69,6 +70,17 @@ def measure_frame_latency() -> dict:
             if sequential.aggregate_counters() != result.aggregate_counters():
                 mismatches.append(f"shards{shards}:counters")
 
+    # One traced 2-worker sharded pass on a fresh pool: the schema-validated
+    # Chrome trace behind the critical-path breakdown committed alongside the
+    # BENCH snapshot.  Separate from the timed pool so tracing cannot touch
+    # the latency numbers above.
+    obs = ObsContext.create()
+    with RenderExecutor(num_workers=2, obs=obs) as traced:
+        traced.submit(_job()).result()  # warm: ship + decode once per lane
+        traced.submit(_job(shards=2)).result()
+    trace_payload = chrome_trace(obs.tracer.spans)
+    validate_chrome_trace(trace_payload, expect_lanes=("worker-0", "worker-1"))
+
     # Warm steady-state latency: the minimum over repeats (scheduling noise
     # only ever adds time; the floor is the honest hardware latency).
     floor = {shards: min(walls) for shards, walls in latencies.items()}
@@ -88,6 +100,7 @@ def measure_frame_latency() -> dict:
         "best_shards": best_shards,
         "shard_speedup": speedup,
         "frame_mismatches": mismatches,
+        "trace_payload": trace_payload,
     }
 
 
@@ -110,10 +123,12 @@ def _format_report(result: dict) -> str:
     return "\n".join(lines)
 
 
-def test_single_frame_shard_latency(benchmark, save_report, save_json):
+def test_single_frame_shard_latency(benchmark, save_report, save_json, save_trace):
     result = run_once(benchmark, measure_frame_latency)
+    payload = result.pop("trace_payload")
     save_report("frame_latency", _format_report(result))
     save_json("frame_latency", result)
+    save_trace("frame_latency", payload)
 
     # Fidelity is unconditional: sharding must cost zero quality.
     assert result["frame_mismatches"] == []

@@ -49,6 +49,7 @@ GUARDS: dict[str, str] = {
     "exec_residency": "hardware",
     "serve_throughput": "hardware",
     "frame_latency": "hardware",
+    "obs_overhead": "hardware",
 }
 
 #: Keys whose leaves are wall-clock measurements embedded in an otherwise
@@ -78,6 +79,28 @@ def baseline_path(name: str) -> Path:
 
 def result_path(name: str) -> Path:
     return RESULTS_DIR / f"{name}.json"
+
+
+def trace_path(name: str) -> Path:
+    return RESULTS_DIR / f"{name}.trace.json"
+
+
+def _trace_analysis(name: str):
+    """(chrome payload, critical-path analysis) for the guard's trace, if any.
+
+    Benchmarks that emit a schema-validated Chrome trace via the
+    ``save_trace`` fixture get the trace and its critical-path/stage
+    breakdown embedded alongside the snapshot — outside ``payload`` so the
+    exact and hardware diffs are unaffected.
+    """
+    source = trace_path(name)
+    if not source.exists():
+        return None, None
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.analysis import analyze, records_from_chrome_trace
+
+    payload = json.loads(source.read_text())
+    return payload, analyze(records_from_chrome_trace(payload))
 
 
 def machine_metadata() -> dict:
@@ -110,6 +133,10 @@ def snapshot(names: list[str]) -> int:
         }
         if kind == "hardware":
             document["machine"] = machine_metadata()
+        trace_payload, analysis = _trace_analysis(name)
+        if analysis is not None:
+            document["trace"] = trace_payload
+            document["analysis"] = analysis
         target = baseline_path(name)
         target.write_text(
             json.dumps(document, indent=2, sort_keys=True, allow_nan=False) + "\n"

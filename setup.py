@@ -1,8 +1,10 @@
 """Setuptools configuration (also the legacy path for offline ``pip install -e .``).
 
 Declares the ``src/`` package layout and the console scripts fronting the
-serving stack: ``repro-serve`` (render farm, ``python -m repro.serve``) and
-``repro-sched`` (multi-tenant request scheduler, ``python -m repro.sched``).
+serving stack: ``repro-serve`` (render farm, ``python -m repro.serve``),
+``repro-sched`` (multi-tenant request scheduler, ``python -m repro.sched``)
+and ``repro-obs`` (trace/metrics analysis + SLO alerting,
+``python -m repro.obs``).
 """
 
 from setuptools import find_packages, setup
@@ -22,6 +24,7 @@ setup(
         "console_scripts": [
             "repro-serve = repro.serve.__main__:main",
             "repro-sched = repro.sched.__main__:main",
+            "repro-obs = repro.obs.__main__:main",
         ]
     },
 )

@@ -74,6 +74,7 @@ from repro.exec.payload import (
 from repro.exec.worker import DEFAULT_WORKER_CACHE_SIZE, worker_main
 from repro.gaussians.model import GaussianScene
 from repro.obs import DEFAULT_BYTE_BUCKETS, MetricsRegistry, ObsContext, TracerStageHook
+from repro.obs.health import HEARTBEAT_GAUGE, REPLIES_COUNTER, Watchdog, summarize_states
 from repro.render.kernels import set_stage_hook
 from repro.store.codec import quant_spec
 
@@ -261,6 +262,12 @@ class _WorkerSlot:
     #: tracing on this anchors the parent-side dispatch ("request") span
     #: the worker's shipped spans are re-parented under.
     sent_ns: int = 0
+    #: Heartbeat stamps for the health plane, updated by the dispatcher
+    #: as replies drain the pipe — liveness piggybacks on the results the
+    #: worker already sends, no extra protocol traffic.
+    spawned_ns: int = 0
+    last_reply_ns: int = 0
+    tasks_done: int = 0
 
 
 class RenderExecutor:
@@ -291,6 +298,10 @@ class RenderExecutor:
         and feeds counters/histograms into the registry; workers collect
         locally and piggyback on the result pipe.  Pure side-channel:
         rendered output is bitwise identical with or without it.
+    watchdog:
+        Thresholds for :meth:`health`'s live/slow/stalled classification
+        (:class:`repro.obs.health.Watchdog`; default thresholds when
+        ``None``).  Strictly report-only.
 
     The executor is a context manager; :meth:`shutdown` stops the workers
     and deletes the published payloads.  ``submit`` is thread-safe.
@@ -304,6 +315,7 @@ class RenderExecutor:
         worker_cache_size: int = DEFAULT_WORKER_CACHE_SIZE,
         resident_cache_size: int = DEFAULT_RESIDENT_CACHE_SIZE,
         obs: ObsContext | None = None,
+        watchdog: Watchdog | None = None,
     ) -> None:
         if num_workers is None:
             num_workers = usable_cpu_count()
@@ -320,6 +332,9 @@ class RenderExecutor:
         self.scene_format = scene_format
         self.worker_cache_size = worker_cache_size
         self.stats = ExecutorStats()
+        #: Report-only stall classifier for :meth:`health`; never acts on
+        #: what it sees (intervention would break bitwise determinism).
+        self.watchdog = watchdog if watchdog is not None else Watchdog()
         self._obs = obs
         #: Latest cumulative metrics snapshot per worker id (replaced on
         #: every reply, merged into ``obs.metrics`` at shutdown) — replace
@@ -455,6 +470,64 @@ class RenderExecutor:
             if hits + misses:
                 registry.gauge("repro_cache_hit_ratio").set(hits / (hits + misses))
         return registry
+
+    def health(self) -> dict:
+        """Live health of the executor: per-worker states + queue depth.
+
+        Reads the heartbeat stamps the dispatcher keeps on each worker
+        slot (updated on every reply already flowing through the result
+        pipe) and classifies each worker through the :class:`Watchdog`
+        from how long its current task has been in flight.  Purely
+        observational — safe to call from any thread, mid-run or idle,
+        with or without an obs context — and never intervenes: a
+        ``stalled`` verdict is a report, not a kill.
+
+        Sequential mode returns the same shape with an empty worker
+        list, so callers can surface the report unconditionally.
+        """
+        now_ns = time.time_ns()
+        with self._lock:
+            pending = len(self._pending)
+            replaced = self.stats.workers_replaced
+            slots = [
+                (
+                    slot.worker_id,
+                    slot.inflight,
+                    slot.sent_ns,
+                    slot.last_reply_ns or slot.spawned_ns,
+                    slot.tasks_done,
+                )
+                for slot in self._workers.values()
+            ]
+        workers = []
+        for worker_id, inflight, sent_ns, beat_ns, tasks_done in sorted(slots):
+            busy_s = (now_ns - sent_ns) / 1e9 if inflight is not None else None
+            workers.append(
+                {
+                    "worker": worker_id,
+                    "state": self.watchdog.classify(busy_s),
+                    "busy_ms": None if busy_s is None else round(busy_s * 1e3, 3),
+                    "inflight": None
+                    if inflight is None
+                    else {
+                        "job": inflight.job_id,
+                        "frame": inflight.index,
+                        "shard": None if inflight.shard is None else inflight.shard.index,
+                    },
+                    "last_reply_age_ms": round((now_ns - beat_ns) / 1e6, 3)
+                    if beat_ns
+                    else None,
+                    "tasks_done": tasks_done,
+                }
+            )
+        return {
+            "mode": "sequential" if self.sequential else "pool",
+            "num_workers": self.num_workers,
+            "pending_tasks": pending,
+            "workers": workers,
+            "states": summarize_states(workers),
+            "workers_replaced": replaced,
+        }
 
     def __enter__(self) -> "RenderExecutor":
         return self
@@ -656,7 +729,9 @@ class RenderExecutor:
         # Close the parent's copy of the child end: the child's death must
         # be the last writer closing, so EOF reaches the dispatcher.
         child_conn.close()
-        self._workers[worker_id] = _WorkerSlot(worker_id, process, parent_conn)
+        self._workers[worker_id] = _WorkerSlot(
+            worker_id, process, parent_conn, spawned_ns=time.time_ns()
+        )
 
     # ------------------------------------------------------------------
     # Dispatcher (parent-side thread)
@@ -717,6 +792,9 @@ class RenderExecutor:
         return None
 
     def _handle_message(self, slot: _WorkerSlot, message) -> None:
+        # Heartbeat: every reply (ok or err) proves the worker alive.
+        slot.last_reply_ns = time.time_ns()
+        slot.tasks_done += 1
         kind = message[0]
         if kind == "ok":
             _, _, job_id, record, hit, loaded, obs_payload = message
@@ -816,6 +894,11 @@ class RenderExecutor:
             attrs=attrs,
         )
         tracer.ingest(spans, parent=unit)
+        # Mirror the heartbeat into per-worker gauges so exported metrics
+        # carry liveness without any extra worker->parent traffic.
+        worker_label = {"worker": str(slot.worker_id)}
+        self._obs.metrics.gauge(HEARTBEAT_GAUGE, worker_label).set(recv_ns / 1e6)
+        self._obs.metrics.counter(REPLIES_COUNTER, worker_label).inc()
         with self._lock:
             self._worker_metrics[slot.worker_id] = metrics_snapshot
 

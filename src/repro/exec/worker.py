@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import time
 import traceback
 from collections import OrderedDict
 
@@ -85,10 +86,29 @@ DEFAULT_WORKER_CACHE_SIZE = 8
 CRASH_ENV = "REPRO_EXEC_TEST_CRASH"
 _CRASH_EXIT_CODE = 87
 
+#: Test-only stall injection: set to ``"<scene>:<frame_index>:<seconds>"``
+#: and the worker that picks up that frame sleeps that long *before*
+#: rendering — the deterministic stand-in for a wedged worker that the
+#: watchdog tests use.  The sleep happens outside the render, so the
+#: frame's bytes are exactly what they would have been: the health plane
+#: observes the stall, it never changes the output.  Unset in any normal
+#: deployment.
+STALL_ENV = "REPRO_EXEC_TEST_STALL"
+
 
 def _crash_requested(scene: str, frame_index: int) -> bool:
     directive = os.environ.get(CRASH_ENV)
     return directive is not None and directive == f"{scene}:{frame_index}"
+
+
+def _stall_requested(scene: str, frame_index: int) -> float:
+    directive = os.environ.get(STALL_ENV)
+    if not directive:
+        return 0.0
+    scene_frame, _, seconds = directive.rpartition(":")
+    if scene_frame == f"{scene}:{frame_index}":
+        return float(seconds)
+    return 0.0
 
 
 def _span(tracer, name: str, attrs: dict | None = None):
@@ -170,6 +190,9 @@ def worker_main(worker_id: int, conn, cache_size: int, obs_enabled: bool = False
         _, job_id, index, camera, spec, ref, shard = message
         if _crash_requested(ref.key[0], index):  # pragma: no cover - exits
             os._exit(_CRASH_EXIT_CODE)
+        stall_s = _stall_requested(ref.key[0], index)
+        if stall_s > 0.0:
+            time.sleep(stall_s)
         try:
             record, hit, loaded = _run_task(
                 cache, cache_size, job_id, index, camera, spec, ref, shard, tracer, metrics

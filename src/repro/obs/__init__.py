@@ -25,16 +25,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.alerts import AlertEngine, AlertRule, firing_rules, load_rules
+from repro.obs.analysis import analyze, critical_path, diff_analyses, load_trace
 from repro.obs.events import StructuredEventLog
 from repro.obs.exporters import (
     chrome_trace,
+    export_html,
     export_metrics,
     export_trace,
+    parse_prometheus_snapshot,
     parse_prometheus_text,
     prometheus_text,
     spans_jsonl,
+    timeline_html,
     validate_chrome_trace,
 )
+from repro.obs.health import Watchdog
 from repro.obs.metrics import (
     DEFAULT_BYTE_BUCKETS,
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -62,9 +68,21 @@ __all__ = [
     "spans_jsonl",
     "prometheus_text",
     "parse_prometheus_text",
+    "parse_prometheus_snapshot",
     "validate_chrome_trace",
     "export_trace",
     "export_metrics",
+    "export_html",
+    "timeline_html",
+    "AlertEngine",
+    "AlertRule",
+    "Watchdog",
+    "analyze",
+    "critical_path",
+    "diff_analyses",
+    "firing_rules",
+    "load_rules",
+    "load_trace",
 ]
 
 

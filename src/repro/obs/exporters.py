@@ -30,9 +30,13 @@ __all__ = [
     "spans_jsonl",
     "prometheus_text",
     "parse_prometheus_text",
+    "parse_prometheus_labels",
+    "parse_prometheus_snapshot",
     "validate_chrome_trace",
     "export_trace",
     "export_metrics",
+    "timeline_html",
+    "export_html",
 ]
 
 _WALL_PID = 1
@@ -148,6 +152,15 @@ def _fmt_value(value) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _escape_label_value(value) -> str:
+    # Exposition format escapes exactly backslash, double-quote and
+    # newline inside label values (backslash first, or it re-escapes the
+    # escapes it just produced).
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _fmt_labels(labels: dict, extra: dict | None = None) -> str:
     merged = dict(labels)
     if extra:
@@ -155,8 +168,7 @@ def _fmt_labels(labels: dict, extra: dict | None = None) -> str:
     if not merged:
         return ""
     body = ",".join(
-        '{}="{}"'.format(k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
-        for k, v in merged.items()
+        '{}="{}"'.format(k, _escape_label_value(v)) for k, v in merged.items()
     )
     return "{" + body + "}"
 
@@ -207,6 +219,138 @@ def parse_prometheus_text(text: str) -> dict[str, float]:
         if "{" in series and not series.endswith("}"):
             raise ValueError(f"line {lineno}: unbalanced labels in {line!r}")
     return out
+
+
+_UNESCAPE = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def parse_prometheus_labels(series: str) -> tuple[str, dict[str, str]]:
+    """Split a series key (``name{k="v",...}``) into name + labels.
+
+    The inverse of ``_fmt_labels``: label values are unescaped
+    (``\\\\`` → backslash, ``\\"`` → quote, ``\\n`` → newline), so a
+    hostile label value survives the exposition round trip exactly.
+    Raises ``ValueError`` on malformed label bodies.
+    """
+    if "{" not in series:
+        return series, {}
+    name, _, body = series.partition("{")
+    if not body.endswith("}"):
+        raise ValueError(f"unbalanced labels in {series!r}")
+    body = body[:-1]
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    try:
+        while i < n:
+            j = body.index("=", i)
+            key = body[i:j]
+            if body[j + 1] != '"':
+                raise ValueError
+            i = j + 2
+            out: list[str] = []
+            while True:
+                ch = body[i]
+                if ch == "\\":
+                    out.append(_UNESCAPE.get(body[i + 1], "\\" + body[i + 1]))
+                    i += 2
+                elif ch == '"':
+                    i += 1
+                    break
+                else:
+                    out.append(ch)
+                    i += 1
+            labels[key] = "".join(out)
+            if i < n:
+                if body[i] != ",":
+                    raise ValueError
+                i += 1
+    except (ValueError, IndexError):
+        raise ValueError(f"malformed label body in {series!r}") from None
+    return name, labels
+
+
+def parse_prometheus_snapshot(text: str) -> list[dict]:
+    """Parse exposition text into registry-snapshot-shaped entries.
+
+    The inverse of ``prometheus_text`` ∘ ``MetricsRegistry.snapshot``:
+    counters/gauges come back as ``{"kind", "name", "labels", "value"}``
+    and the ``_bucket``/``_sum``/``_count`` sample families of each
+    histogram are reassembled into per-bucket (non-cumulative) counts —
+    the shape ``merge()`` and the alert engine consume.  Series kinds
+    come from the ``# TYPE`` lines.
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            if line.startswith("# TYPE"):
+                parts = line.split()
+                if len(parts) != 4:
+                    raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+                types[parts[2]] = parts[3]
+            continue
+        try:
+            series, value = line.rsplit(" ", 1)
+            name, labels = parse_prometheus_labels(series)
+            samples.append((name, labels, float(value)))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad sample line {line!r}") from exc
+
+    def hist_base(name: str) -> str | None:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                if types.get(base) == "histogram":
+                    return base
+        return None
+
+    entries: dict[tuple, dict] = {}
+    hist_buckets: dict[tuple, list[tuple[float, int]]] = {}
+    for name, labels, value in samples:
+        base = hist_base(name)
+        if base is not None:
+            key_labels = {k: v for k, v in labels.items() if k != "le"}
+            key = (base, tuple(sorted(key_labels.items())))
+            entry = entries.setdefault(
+                key,
+                {
+                    "kind": "histogram",
+                    "name": base,
+                    "labels": key_labels,
+                    "buckets": [],
+                    "counts": [],
+                    "sum": 0.0,
+                    "count": 0,
+                },
+            )
+            if name.endswith("_bucket"):
+                hist_buckets.setdefault(key, []).append(
+                    (float(labels["le"]), int(value))
+                )
+            elif name.endswith("_sum"):
+                entry["sum"] = value
+            else:
+                entry["count"] = int(value)
+        else:
+            kind = types.get(name, "gauge")
+            key = (name, tuple(sorted(labels.items())))
+            entries[key] = {
+                "kind": kind,
+                "name": name,
+                "labels": labels,
+                "value": value,
+            }
+    for key, bounds in hist_buckets.items():
+        bounds.sort(key=lambda b: b[0])
+        cumulative = [count for _, count in bounds]
+        finite = [bound for bound, _ in bounds if bound != float("inf")]
+        counts = [
+            c - (cumulative[i - 1] if i else 0) for i, c in enumerate(cumulative)
+        ]
+        entries[key]["buckets"] = finite
+        entries[key]["counts"] = counts
+    return [entries[key] for key in sorted(entries)]
 
 
 def export_metrics(path: str, registry: MetricsRegistry) -> None:
@@ -319,3 +463,123 @@ def validate_chrome_trace(payload: dict, expect_lanes: Iterable[str] = ()) -> di
         "lanes": sorted(lane_names, key=_lane_sort_key),
         "spans": dict(sorted(span_names.items())),
     }
+
+
+# ---------------------------------------------------------------------------
+# Self-contained HTML timeline report
+# ---------------------------------------------------------------------------
+
+_HTML_PALETTE = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+    "#edc948", "#b07aa1", "#9c755f", "#bab0ac", "#ff9da7",
+)
+
+_HTML_HEAD = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+ body {{ font: 13px/1.5 system-ui, sans-serif; margin: 1.5em; color: #222; }}
+ h1 {{ font-size: 1.3em; }} h2 {{ font-size: 1.05em; margin-top: 1.6em; }}
+ .lane {{ display: flex; align-items: center; margin: 2px 0; }}
+ .lane-name {{ flex: 0 0 9em; text-align: right; padding-right: .8em;
+              color: #555; font-family: monospace; font-size: 11px; }}
+ .lane-track {{ position: relative; flex: 1; height: 22px;
+               background: #f4f4f4; border-radius: 3px; }}
+ .span {{ position: absolute; top: 2px; height: 18px; border-radius: 2px;
+         overflow: hidden; font-size: 10px; line-height: 18px; color: #fff;
+         padding: 0 2px; box-sizing: border-box; white-space: nowrap;
+         min-width: 2px; }}
+ .instant {{ position: absolute; top: 0; width: 2px; height: 22px;
+            background: #d62728; }}
+ .axis {{ color: #888; font-size: 11px; margin: .3em 0 1em 9.8em; }}
+ .legend span {{ display: inline-block; margin-right: 1em; }}
+ .swatch {{ display: inline-block; width: 10px; height: 10px;
+           border-radius: 2px; margin-right: 4px; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+"""
+
+
+def _html_escape(text) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def timeline_html(records: list[dict], title: str = "repro trace timeline") -> str:
+    """Render span records as a self-contained HTML timeline.
+
+    One section per clock domain, one row per lane, spans as positioned
+    blocks scaled to duration with full details in the hover tooltip,
+    instants as red ticks.  Pure string templating — no scripts, no
+    external assets — so the report opens anywhere and diffs cleanly.
+    """
+    color_of: dict[str, str] = {}
+
+    def color(name: str) -> str:
+        if name not in color_of:
+            color_of[name] = _HTML_PALETTE[len(color_of) % len(_HTML_PALETTE)]
+        return color_of[name]
+
+    parts = [_HTML_HEAD.format(title=_html_escape(title))]
+    for clock, heading in ((WALL, "Wall clock"), ("virtual", "Virtual clock")):
+        group = [r for r in records if r.get("clock", WALL) == clock]
+        if not group:
+            continue
+        t0 = min(r["t0_ms"] for r in group)
+        t1 = max(r["t0_ms"] + (r["dur_ms"] or 0.0) for r in group)
+        window = max(t1 - t0, 1e-9)
+        parts.append(f"<h2>{heading} · {len(group)} spans · {window:.1f} ms</h2>\n")
+        lanes = sorted({r["lane"] for r in group}, key=_lane_sort_key)
+        for lane in lanes:
+            parts.append(
+                f'<div class="lane"><div class="lane-name">{_html_escape(lane)}</div>'
+                '<div class="lane-track">\n'
+            )
+            for r in sorted(
+                (r for r in group if r["lane"] == lane),
+                key=lambda r: (r["t0_ms"], -(r["dur_ms"] or 0.0)),
+            ):
+                left = 100.0 * (r["t0_ms"] - t0) / window
+                tip = _html_escape(
+                    f"{r['name']} [{r['id']}] t0={r['t0_ms'] - t0:.3f}ms "
+                    + (f"dur={r['dur_ms']:.3f}ms " if r["dur_ms"] is not None else "")
+                    + " ".join(f"{k}={v}" for k, v in (r.get("attrs") or {}).items())
+                )
+                if r["dur_ms"] is None:
+                    parts.append(
+                        f'<div class="instant" style="left:{left:.3f}%" title="{tip}"></div>\n'
+                    )
+                else:
+                    width = 100.0 * r["dur_ms"] / window
+                    parts.append(
+                        f'<div class="span" style="left:{left:.3f}%;'
+                        f'width:{width:.3f}%;background:{color(r["name"])}" '
+                        f'title="{tip}">{_html_escape(r["name"])}</div>\n'
+                    )
+            parts.append("</div></div>\n")
+        parts.append(f'<div class="axis">0 ms → {window:.1f} ms</div>\n')
+    if color_of:
+        parts.append('<div class="legend">')
+        for name, c in color_of.items():
+            parts.append(
+                f'<span><span class="swatch" style="background:{c}"></span>'
+                f"{_html_escape(name)}</span>"
+            )
+        parts.append("</div>\n")
+    parts.append("</body>\n</html>\n")
+    return "".join(parts)
+
+
+def export_html(path: str, records: list[dict], title: str = "repro trace timeline") -> None:
+    """Write the HTML timeline report for ``records`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(timeline_html(records, title=title))

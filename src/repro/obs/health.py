@@ -1,0 +1,80 @@
+"""Live health plane: worker heartbeats and a report-only watchdog.
+
+The executor's workers already talk to the parent on every task reply,
+so liveness needs no new protocol: the dispatcher stamps a heartbeat
+(last-reply time, reply count) on each slot as replies drain, and —
+when an obs context is attached — mirrors it into per-worker gauges.
+The :class:`Watchdog` then classifies each worker from those stamps and
+the slot's in-flight state:
+
+* ``live`` — idle, or busy for less than ``slow_after_s``;
+* ``slow`` — busy longer than ``slow_after_s`` but not yet stalled;
+* ``stalled`` — busy longer than ``stalled_after_s`` with no reply.
+
+The watchdog only ever *reports*.  It never kills, restarts or reroutes
+— intervention would make output depend on wall-clock timing and break
+the bitwise-identity contract the executor pins (a stalled worker's
+frame, once it finally lands, must be the same bytes it always was).
+Routing around sick hosts is the fleet layer's job (ROADMAP item 3);
+this module is the sensor it will read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "HEARTBEAT_GAUGE",
+    "LIVE",
+    "REPLIES_COUNTER",
+    "SLOW",
+    "STALLED",
+    "STATES",
+    "Watchdog",
+    "summarize_states",
+]
+
+LIVE = "live"
+SLOW = "slow"
+STALLED = "stalled"
+STATES = (LIVE, SLOW, STALLED)
+
+#: Wall time of each worker's most recent reply, labelled by worker id.
+HEARTBEAT_GAUGE = "repro_worker_heartbeat_ms"
+#: Total replies (ok or err) per worker — the heartbeat's rate signal.
+REPLIES_COUNTER = "repro_worker_replies_total"
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """Classifies a worker from how long its current task has been out.
+
+    Thresholds are generous by default: the classifier keys on the
+    in-flight time of a *single* task, and a healthy worker's longest
+    unit of work (a cold decode plus a full-preset frame) is well under
+    a second on any machine the benchmarks target.
+    """
+
+    slow_after_s: float = 2.0
+    stalled_after_s: float = 10.0
+
+    def __post_init__(self):
+        if not 0 < self.slow_after_s <= self.stalled_after_s:
+            raise ValueError("need 0 < slow_after_s <= stalled_after_s")
+
+    def classify(self, busy_s: float | None) -> str:
+        """State for a worker whose task has been in flight ``busy_s``
+        seconds (``None`` = idle)."""
+        if busy_s is None or busy_s < self.slow_after_s:
+            return LIVE
+        if busy_s < self.stalled_after_s:
+            return SLOW
+        return STALLED
+
+
+def summarize_states(workers: list[dict]) -> dict:
+    """Count workers per state (always includes every state key)."""
+    counts = {state: 0 for state in STATES}
+    for worker in workers:
+        counts[worker["state"]] += 1
+    return counts

@@ -95,6 +95,37 @@ class Histogram:
             out.append(total)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in its bucket.
+
+        The standard Prometheus ``histogram_quantile`` estimator:
+        observations are assumed uniform within a bucket, so the
+        quantile is placed ``(rank - cumulative_below) / bucket_count``
+        of the way between the bucket's bounds (the first bucket's
+        lower bound is 0 — all metrics here are non-negative).  The
+        estimate is exact to within the containing bucket's width,
+        which is what the reconciliation tests assert against the exact
+        percentiles in scheduler reports.  Quantiles landing in the
+        ``+Inf`` bucket clamp to the highest finite bound; an empty
+        histogram returns ``nan``.
+        """
+        q = float(q)
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        below = 0
+        for i, c in enumerate(self.counts):
+            if c and below + c >= rank:
+                if i >= len(self.buckets):  # +Inf bucket
+                    return self.buckets[-1] if self.buckets else float("nan")
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                hi = self.buckets[i]
+                return lo + (hi - lo) * ((rank - below) / c)
+            below += c
+        return self.buckets[-1] if self.buckets else float("nan")
+
 
 def _label_key(labels: dict | None) -> tuple:
     return tuple(sorted(labels.items())) if labels else ()

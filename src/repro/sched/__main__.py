@@ -17,7 +17,9 @@ under the SLO controller; ``--policy fixed`` pins serving to the single
 ``--lod``/``--quant`` tier.
 
 The same entry point is installed as the ``repro-sched`` console script.
-Exit status 0 on success; bad arguments exit with ``argparse``'s status 2.
+Exit status 0 on success; 3 when ``--alerts`` rules are firing at the end
+of the run (the SLO-violation exit the CI contract tests); bad arguments
+exit with ``argparse``'s status 2.
 """
 
 from __future__ import annotations
@@ -261,6 +263,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write run metrics to PATH in Prometheus text exposition format",
     )
+    output.add_argument(
+        "--analyze-out",
+        metavar="PATH",
+        help=(
+            "write the trace analysis (critical path, stage/lane breakdowns, "
+            "timelines) of this run to PATH as JSON"
+        ),
+    )
+    output.add_argument(
+        "--alerts",
+        metavar="PATH",
+        help=(
+            "evaluate the JSON alert rules at PATH against this run's "
+            "decision log (deterministic on the virtual clock); exit 3 "
+            "if any rule is firing at the end of the run"
+        ),
+    )
     return parser
 
 
@@ -349,7 +368,8 @@ def main(argv: list[str] | None = None) -> int:
         slo_ms=args.slo_ms,
         seed=args.seed,
     )
-    obs = ObsContext.create() if (args.trace_out or args.metrics_out) else None
+    needs_obs = args.trace_out or args.metrics_out or args.analyze_out
+    obs = ObsContext.create() if needs_obs else None
     with RequestScheduler(
         policy=SchedulerPolicy(
             num_workers=args.workers,
@@ -364,20 +384,52 @@ def main(argv: list[str] | None = None) -> int:
         obs=obs,
     ) as scheduler:
         report = run_workload(spec, scheduler)
+        # Health must be read while the pool is alive (close() empties it).
+        health = scheduler.health()
     if obs is not None:
         if args.trace_out:
             export_trace(args.trace_out, obs.tracer)
         if args.metrics_out:
             export_metrics(args.metrics_out, obs.metrics)
+        if args.analyze_out:
+            from repro.obs.analysis import analyze
+
+            with open(args.analyze_out, "w", encoding="utf-8") as fh:
+                json.dump(analyze(obs.tracer.spans), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+
+    alerts = None
+    if args.alerts:
+        from repro.obs.alerts import AlertEngine, firing_rules, load_rules, samples_from_schedule_log
+
+        with open(args.alerts, "r", encoding="utf-8") as fh:
+            rules = load_rules(json.load(fh))
+        log = AlertEngine(rules).evaluate(samples_from_schedule_log(report.log.events))
+        alerts = {"rules": len(rules), "log": log, "firing": firing_rules(log)}
+
     if args.json or args.events:
-        print(
-            json.dumps(
-                report.summary(include_events=args.events), indent=2, sort_keys=True
-            )
-        )
+        summary = report.summary(include_events=args.events)
+        if summary["measured"] is not None and health is not None:
+            summary["measured"]["health"] = health
+        if alerts is not None:
+            summary["alerts"] = alerts
+        print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(format_report(report))
-    return 0
+        if health is not None:
+            states = health["states"]
+            print(
+                f"  data-plane health: {health['mode']} mode   "
+                f"{states['live']} live   {states['slow']} slow   "
+                f"{states['stalled']} stalled   "
+                f"{health['workers_replaced']} replaced"
+            )
+        if alerts is not None:
+            if alerts["firing"]:
+                print(f"  alerts FIRING: {', '.join(alerts['firing'])}")
+            else:
+                print("  alerts: none firing")
+    return 3 if alerts is not None and alerts["firing"] else 0
 
 
 if __name__ == "__main__":

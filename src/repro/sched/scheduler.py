@@ -586,6 +586,15 @@ class RequestScheduler:
         if self._owns_executor and self.executor is not None:
             self.executor.shutdown(wait=True)
 
+    def health(self) -> dict | None:
+        """Live health of the data plane (None on virtual-only runs).
+
+        Delegates to :meth:`RenderExecutor.health` — worker states from
+        the report-only watchdog plus queue depth.  Call before
+        :meth:`close` (the pool's slots empty at shutdown).
+        """
+        return None if self.executor is None else self.executor.health()
+
     def __enter__(self) -> "RequestScheduler":
         return self
 

@@ -23,7 +23,8 @@ win, visible from the CLI::
     python -m repro.serve --scene train --frames 8 --workers 4 --repeat 5
 
 The same entry point is installed as the ``repro-serve`` console script.
-Exit status is 0 on success; bad arguments (including unreadable or
+Exit status is 0 on success; 3 when ``--alerts`` rules are firing against
+the run's final metrics; bad arguments (including unreadable or
 unrecognised scene files) exit with ``argparse``'s usual status 2.
 """
 
@@ -202,6 +203,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write run metrics to PATH in Prometheus text exposition format",
     )
+    parser.add_argument(
+        "--analyze-out",
+        metavar="PATH",
+        help=(
+            "write the trace analysis (critical path, stage/lane breakdowns, "
+            "worker-occupancy timeline) of this run to PATH as JSON"
+        ),
+    )
+    parser.add_argument(
+        "--alerts",
+        metavar="PATH",
+        help=(
+            "evaluate the JSON alert rules at PATH against the run's final "
+            "metrics; exit 3 if any rule is firing"
+        ),
+    )
     return parser
 
 
@@ -226,13 +243,14 @@ def _register_scene_file(path: str) -> str:
 
 def run_repeated(
     job: RenderJob, args: argparse.Namespace, on_frame, obs=None
-) -> tuple[list[JobResult], dict]:
+) -> tuple[list[JobResult], dict, dict]:
     """Run ``job`` ``args.repeat`` times on one persistent executor.
 
     Iteration 1 is the cold pass (worker start-up on the pool path, scene
     preparation, payload encode + worker decode); every later iteration
-    lands on resident scenes.  Returns the per-iteration results plus the
-    executor's aggregate residency stats.
+    lands on resident scenes.  Returns the per-iteration results, the
+    executor's aggregate residency stats, and its final health report
+    (read while the pool is still alive).
     """
     from repro.exec import RenderExecutor
 
@@ -243,7 +261,8 @@ def run_repeated(
         for _ in range(args.repeat):
             results.append(executor.submit(job, on_frame=on_frame).result())
         stats = executor.stats.as_dict()
-    return results, stats
+        health = executor.health()
+    return results, stats, health
 
 
 def repeat_summary(results: list[JobResult], stats: dict) -> dict:
@@ -283,6 +302,14 @@ def format_repeat_report(repeat: dict) -> str:
         f"{repeat['executor']['published_bytes']} B published   "
         f"{repeat['executor']['loaded_bytes']} B worker-loaded",
     ]
+    health = repeat.get("health")
+    if health is not None:
+        states = health["states"]
+        lines.append(
+            f"  health: {health['mode']} mode   {states['live']} live   "
+            f"{states['slow']} slow   {states['stalled']} stalled   "
+            f"{health['workers_replaced']} replaced"
+        )
     return "\n".join(lines)
 
 
@@ -351,7 +378,7 @@ def main(argv: list[str] | None = None) -> int:
         dtype=args.dtype,
     )
     obs = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.analyze_out or args.alerts:
         from repro.obs import ObsContext
 
         obs = ObsContext.create()
@@ -366,10 +393,12 @@ def main(argv: list[str] | None = None) -> int:
                 flush=True,
             )
 
+    health = None
     if args.repeat > 1:
-        results, stats = run_repeated(job, args, on_frame, obs=obs)
+        results, stats, health = run_repeated(job, args, on_frame, obs=obs)
         result = results[-1]
         repeat = repeat_summary(results, stats)
+        repeat["health"] = health
     else:
         result = farm.run(job, on_frame=on_frame)
         repeat = None
@@ -380,17 +409,42 @@ def main(argv: list[str] | None = None) -> int:
             export_trace(args.trace_out, obs.tracer)
         if args.metrics_out:
             export_metrics(args.metrics_out, obs.metrics)
+        if args.analyze_out:
+            from repro.obs.analysis import analyze
+
+            with open(args.analyze_out, "w", encoding="utf-8") as fh:
+                json.dump(analyze(obs.tracer.spans), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+
+    alerts = None
+    if args.alerts:
+        from repro.obs.alerts import AlertEngine, firing_rules, load_rules
+
+        with open(args.alerts, "r", encoding="utf-8") as fh:
+            rules = load_rules(json.load(fh))
+        # One cumulative sample: the run's end state (executor shutdown
+        # already folded the worker-side tallies into obs.metrics).
+        log = AlertEngine(rules).evaluate([(0.0, obs.metrics.snapshot())])
+        alerts = {"rules": len(rules), "log": log, "firing": firing_rules(log)}
+
     if args.json:
         summary = result.summary()
         if repeat is not None:
             summary["repeat"] = repeat
+        if alerts is not None:
+            summary["alerts"] = alerts
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         text = format_report(result)
         if repeat is not None:
             text += "\n" + format_repeat_report(repeat)
+        if alerts is not None:
+            firing = alerts["firing"]
+            text += "\n" + (
+                f"  alerts FIRING: {', '.join(firing)}" if firing else "  alerts: none firing"
+            )
         print(text)
-    return 0
+    return 3 if alerts is not None and alerts["firing"] else 0
 
 
 if __name__ == "__main__":

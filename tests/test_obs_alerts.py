@@ -1,0 +1,273 @@
+"""SLO alerting: rule semantics, burn-rate windows, byte-stable replay.
+
+The alert engine is a pure function of ``(timestamp, snapshot)``
+timelines, so its contract mirrors the decision log's: same rules +
+same seeded workload = byte-identical alert log.  These tests pin the
+rule semantics on hand-built snapshots, the replay guarantee on real
+seeded scheduler runs, and the histogram quantile estimator against the
+scheduler's exact percentiles (reconciliation within one bucket width).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+
+import pytest
+
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    firing_rules,
+    load_rules,
+    samples_from_schedule_log,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.sched.scheduler import RequestScheduler, run_workload
+from repro.sched.workload import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    arrival="bursty", rate_rps=8, duration_s=3, num_clients=2, slo_ms=250, seed=0
+)
+
+
+def latency_snapshot(values, metric="repro_sched_e2e_ms"):
+    registry = MetricsRegistry()
+    hist = registry.histogram(metric, buckets=DEFAULT_LATENCY_BUCKETS_MS)
+    for value in values:
+        hist.observe(value)
+    return registry.snapshot()
+
+
+def burn_rule(**overrides):
+    kwargs = dict(
+        name="e2e-burn",
+        kind="burn_rate",
+        metric="repro_sched_e2e_ms",
+        objective_ms=100.0,
+        target=0.9,
+        long_window_ms=20_000.0,
+        short_window_ms=20_000.0,
+        burn_threshold=1.0,
+    )
+    kwargs.update(overrides)
+    return AlertRule(**kwargs)
+
+
+class TestRuleLoading:
+    def test_loads_and_normalizes_labels(self):
+        (rule,) = load_rules(
+            [{"name": "r", "kind": "threshold", "metric": "m",
+              "labels": {"status": "ok", "tier": 1}, "op": ">=", "value": 2}]
+        )
+        assert rule.labels == (("status", "ok"), ("tier", "1"))
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            load_rules([{"name": "r", "kind": "threshold", "metric": "m",
+                         "objective": 1}])
+
+    def test_rejects_duplicate_names(self):
+        rule = {"name": "r", "kind": "threshold", "metric": "m"}
+        with pytest.raises(ValueError, match="duplicate"):
+            load_rules([rule, dict(rule)])
+
+    def test_rejects_bad_kind_op_target_windows(self):
+        with pytest.raises(ValueError, match="kind"):
+            AlertRule(name="r", kind="pager", metric="m")
+        with pytest.raises(ValueError, match="op"):
+            AlertRule(name="r", kind="threshold", metric="m", op="~")
+        with pytest.raises(ValueError, match="target"):
+            burn_rule(target=1.0)
+        with pytest.raises(ValueError, match="window"):
+            burn_rule(short_window_ms=10.0, long_window_ms=5.0)
+
+
+class TestBurnRate:
+    def test_single_final_snapshot_evaluates_whole_run(self):
+        # 4 of 10 requests above the 100 ms objective: bad fraction 0.4,
+        # budget 0.1 -> burn 4.0 in both windows (no baseline = zero state).
+        snap = latency_snapshot([10.0] * 6 + [400.0] * 4)
+        log = AlertEngine([burn_rule()]).evaluate([(1000.0, snap)])
+        assert [e["event"] for e in log] == ["alert_firing"]
+        assert log[0]["burn_long"] == log[0]["burn_short"] == 4.0
+        assert firing_rules(log) == ["e2e-burn"]
+
+    def test_within_budget_never_fires(self):
+        snap = latency_snapshot([10.0] * 19 + [400.0])  # 5% bad = burn 0.5
+        assert AlertEngine([burn_rule()]).evaluate([(1000.0, snap)]) == []
+
+    def test_short_window_recovery_resolves(self):
+        # All-bad burst at t=0, then nothing new: the long window still
+        # burns, but the short window's trailing delta is empty -> resolved.
+        bad = latency_snapshot([400.0] * 10)
+        rule = burn_rule(long_window_ms=20_000.0, short_window_ms=1_000.0)
+        log = AlertEngine([rule]).evaluate([(0.0, bad), (10_000.0, bad)])
+        assert [e["event"] for e in log] == ["alert_firing", "alert_resolved"]
+        assert log[1]["burn_long"] > 1.0  # long window alone is not enough
+        assert log[1]["burn_short"] == 0.0
+        assert firing_rules(log) == []
+
+    def test_missing_or_non_histogram_metric_burns_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_sched_e2e_ms").inc()
+        engine = AlertEngine([burn_rule()])
+        assert engine.evaluate([(0.0, [])]) == []
+        assert engine.evaluate([(0.0, registry.snapshot())]) == []
+
+    def test_rejects_unordered_samples(self):
+        snap = latency_snapshot([1.0])
+        with pytest.raises(ValueError, match="ascending"):
+            AlertEngine([burn_rule()]).evaluate([(10.0, snap), (0.0, snap)])
+
+
+class TestThresholdAndAbsence:
+    def test_threshold_fires_and_resolves(self):
+        rule = AlertRule(
+            name="sheds", kind="threshold",
+            metric="repro_sched_requests_total",
+            labels=(("status", "shed"),), op=">", value=2.0,
+        )
+
+        def snap(n):
+            registry = MetricsRegistry()
+            registry.counter(
+                "repro_sched_requests_total", {"status": "shed"}
+            ).inc(n)
+            return registry.snapshot()
+
+        log = AlertEngine([rule]).evaluate([(0.0, snap(1)), (500.0, snap(5))])
+        assert [e["event"] for e in log] == ["alert_firing"]
+        assert log[0]["value"] == 5.0
+
+    def test_threshold_missing_metric_reads_zero(self):
+        rule = AlertRule(name="r", kind="threshold", metric="m", op="==", value=0.0)
+        log = AlertEngine([rule]).evaluate([(0.0, [])])
+        assert log[0]["event"] == "alert_firing" and log[0]["value"] == 0.0
+
+    def test_absence_missing_then_present(self):
+        rule = AlertRule(name="alive", kind="absence", metric="repro_x_total")
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc()
+        log = AlertEngine([rule]).evaluate(
+            [(0.0, []), (500.0, registry.snapshot())]
+        )
+        assert [e["event"] for e in log] == ["alert_firing", "alert_resolved"]
+        assert log[0]["reason"] == "missing"
+
+    def test_absence_staleness_window(self):
+        rule = AlertRule(
+            name="alive", kind="absence", metric="repro_x_total",
+            window_ms=1_000.0,
+        )
+
+        def snap(n):
+            registry = MetricsRegistry()
+            registry.counter("repro_x_total").inc(n)
+            return registry.snapshot()
+
+        # Counter advances to t=1000 then flatlines: stale by t=3000.
+        log = AlertEngine([rule]).evaluate(
+            [(0.0, snap(1)), (1_000.0, snap(2)), (3_000.0, snap(2))]
+        )
+        assert log[-1]["event"] == "alert_firing"
+        assert log[-1]["reason"] == "stale"
+
+
+class TestSeededReplay:
+    RULES = (
+        burn_rule(name="e2e-tight", objective_ms=0.5, target=0.999,
+                  long_window_ms=2_000.0, short_window_ms=500.0),
+        AlertRule(name="completed-present", kind="absence",
+                  metric="repro_sched_requests_total",
+                  labels=(("status", "completed"),)),
+    )
+
+    def _alert_log(self):
+        report = run_workload(SPEC, RequestScheduler(quick=True))
+        samples = samples_from_schedule_log(report.log.events)
+        return AlertEngine(self.RULES).evaluate(samples)
+
+    def test_alert_log_replays_byte_identically(self):
+        first, second = self._alert_log(), self._alert_log()
+        assert json.dumps(first) == json.dumps(second)
+        assert any(e["event"] == "alert_firing" for e in first)
+
+    def test_samples_grid_is_deterministic_and_cumulative(self):
+        report = run_workload(SPEC, RequestScheduler(quick=True))
+        samples = samples_from_schedule_log(report.log.events, interval_ms=500.0)
+        times = [t for t, _ in samples]
+        assert times == sorted(times)
+        assert times[-1] == float(report.log.events[-1]["t_ms"])
+        # The final snapshot accounts for every completed request.
+        final = {
+            (e["name"], tuple(sorted(e["labels"].items()))): e
+            for e in samples[-1][1]
+        }
+        completed = final[
+            ("repro_sched_requests_total", (("status", "completed"),))
+        ]["value"]
+        assert completed == sum(
+            1 for e in report.log.events if e["event"] == "complete"
+        )
+
+
+class TestQuantileReconciliation:
+    def test_histogram_p95_matches_exact_within_bucket_width(self):
+        # Satellite: the bucket-interpolated quantile must land within one
+        # bucket width of the scheduler's exact e2e_p95.
+        report = run_workload(SPEC, RequestScheduler(quick=True))
+        e2e = [
+            float(e["e2e_ms"])
+            for e in report.log.events
+            if e["event"] == "complete"
+        ]
+        assert e2e, "seeded workload completed no requests"
+        hist = Histogram(DEFAULT_LATENCY_BUCKETS_MS)
+        for value in e2e:
+            hist.observe(value)
+        estimate = hist.quantile(0.95)
+        exact = report.summary()["latency_ms"]["e2e_p95"]
+        bounds = (0.0,) + DEFAULT_LATENCY_BUCKETS_MS
+        i = bisect_left(DEFAULT_LATENCY_BUCKETS_MS, exact)
+        width = (
+            DEFAULT_LATENCY_BUCKETS_MS[i] - bounds[i]
+            if i < len(DEFAULT_LATENCY_BUCKETS_MS)
+            else float("inf")
+        )
+        assert abs(estimate - exact) <= width, (estimate, exact, width)
+
+
+class TestHistogramQuantile:
+    def test_empty_is_nan_and_range_checked(self):
+        hist = Histogram((1.0, 2.0))
+        assert math.isnan(hist.quantile(0.5))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_linear_interpolation_within_bucket(self):
+        hist = Histogram((1.0, 2.0))
+        for value in (0.5, 0.5, 1.5, 1.5):
+            hist.observe(value)
+        # rank 2 falls exactly at the first bucket's cumulative count:
+        # interpolates to that bucket's upper bound.
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(0.25) == 0.5
+        assert hist.quantile(1.0) == 2.0
+
+    def test_extremes_and_inf_clamp(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 4.0
+        overflow = Histogram((1.0, 2.0, 4.0))
+        overflow.observe(100.0)  # lands in +Inf bucket
+        assert overflow.quantile(1.0) == 4.0  # clamps to top finite bound

@@ -23,10 +23,21 @@ from repro.obs import (
     Tracer,
     TracerStageHook,
     chrome_trace,
+    parse_prometheus_snapshot,
     parse_prometheus_text,
     prometheus_text,
     spans_jsonl,
     validate_chrome_trace,
+)
+
+#: Label values exercising every escape the exposition format defines
+#: (backslash, double quote, newline) plus innocent-looking separators.
+HOSTILE_LABELS = (
+    'back\\slash',
+    'quo"te',
+    'new\nline',
+    'all\\three"at\nonce',
+    'comma,equals=brace}',
 )
 
 
@@ -243,6 +254,33 @@ class TestExporters:
     def test_prometheus_parser_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_prometheus_text("this is not exposition format\n")
+
+    def test_hostile_label_values_round_trip(self):
+        # Backslashes, quotes and newlines in label values must survive
+        # exposition escaping and come back verbatim through the parser.
+        registry = MetricsRegistry()
+        for i, value in enumerate(HOSTILE_LABELS):
+            registry.counter("repro_hostile_total", {"scene": value}).inc(i + 1)
+        text = prometheus_text(registry)
+        assert "\n\n" not in text.strip()  # newlines escaped, not emitted
+        parsed = parse_prometheus_snapshot(text)
+        assert [e["labels"]["scene"] for e in parsed] == sorted(HOSTILE_LABELS)
+        assert {e["labels"]["scene"]: e["value"] for e in parsed} == {
+            value: i + 1 for i, value in enumerate(HOSTILE_LABELS)
+        }
+
+    def test_snapshot_round_trips_through_exposition(self):
+        # parse_prometheus_snapshot is the exact inverse of
+        # prometheus_text on a full registry: counters, gauges and
+        # histograms, hostile labels included.
+        registry = MetricsRegistry()
+        registry.counter("repro_reqs_total", {"status": 'o"k\\\n'}).inc(7)
+        registry.gauge("repro_ratio").set(0.25)
+        hist = registry.histogram("repro_lat_ms", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        snapshot = registry.snapshot()
+        assert parse_prometheus_snapshot(prometheus_text(registry)) == snapshot
 
     def test_obs_context_bundles_fresh_collectors(self):
         a, b = ObsContext.create(), ObsContext.create()

@@ -1,0 +1,144 @@
+"""Health plane: heartbeats, watchdog classification, zero intervention.
+
+Liveness rides entirely on the replies the workers already send — no
+new protocol traffic — and the watchdog only ever *reports*.  The
+load-bearing test here injects a genuinely stalled worker (a sleep
+before rendering, via the same env-var backdoor the crash tests use)
+and checks both halves of the contract: the watchdog says ``stalled``
+while the task is stuck, and the rendered output is still bitwise
+identical to the sequential path once it lands.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec import RenderExecutor
+from repro.exec.worker import STALL_ENV
+from repro.obs import ObsContext
+from repro.obs.health import (
+    HEARTBEAT_GAUGE,
+    LIVE,
+    REPLIES_COUNTER,
+    SLOW,
+    STALLED,
+    STATES,
+    Watchdog,
+    summarize_states,
+)
+from repro.serve.farm import RenderFarm
+from repro.serve.trajectories import RenderJob, make_trajectory
+
+
+def quick_job(num_frames=2, **kwargs) -> RenderJob:
+    return RenderJob(
+        "train", make_trajectory("orbit", num_frames=num_frames), quick=True, **kwargs
+    )
+
+
+class TestWatchdog:
+    def test_classification_thresholds(self):
+        watchdog = Watchdog(slow_after_s=2.0, stalled_after_s=10.0)
+        assert watchdog.classify(None) == LIVE  # idle
+        assert watchdog.classify(0.0) == LIVE
+        assert watchdog.classify(1.999) == LIVE
+        assert watchdog.classify(2.0) == SLOW
+        assert watchdog.classify(9.999) == SLOW
+        assert watchdog.classify(10.0) == STALLED
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            Watchdog(slow_after_s=0.0)
+        with pytest.raises(ValueError):
+            Watchdog(slow_after_s=5.0, stalled_after_s=1.0)
+
+    def test_summarize_states_counts_every_state(self):
+        workers = [{"state": LIVE}, {"state": LIVE}, {"state": STALLED}]
+        assert summarize_states(workers) == {LIVE: 2, SLOW: 0, STALLED: 1}
+        assert set(summarize_states([])) == set(STATES)
+
+
+class TestHealthReport:
+    def test_sequential_mode_shape(self):
+        with RenderExecutor(num_workers=0) as executor:
+            executor.submit(quick_job(1)).result()
+            health = executor.health()
+        assert health["mode"] == "sequential"
+        assert health["workers"] == []
+        assert health["states"] == {LIVE: 0, SLOW: 0, STALLED: 0}
+        assert health["pending_tasks"] == 0
+        assert health["workers_replaced"] == 0
+
+    def test_pool_reports_live_workers_and_heartbeats(self):
+        with RenderExecutor(num_workers=2) as executor:
+            executor.submit(quick_job(2)).result(timeout=300)
+            health = executor.health()
+        assert health["mode"] == "pool" and health["num_workers"] == 2
+        assert [w["worker"] for w in health["workers"]] == [0, 1]
+        assert health["states"][LIVE] == 2
+        for worker in health["workers"]:
+            assert worker["state"] == LIVE
+            assert worker["inflight"] is None and worker["busy_ms"] is None
+            # Heartbeat stamps exist even before the first reply (spawn
+            # time seeds them), so the age is always a number.
+            assert worker["last_reply_age_ms"] >= 0.0
+        assert sum(w["tasks_done"] for w in health["workers"]) >= 2
+
+    def test_heartbeat_gauges_piggyback_on_replies(self):
+        obs = ObsContext.create()
+        with RenderExecutor(num_workers=2, obs=obs) as executor:
+            executor.submit(quick_job(3)).result(timeout=300)
+        replies = sum(
+            value
+            for _, value in obs.metrics.labeled_values(REPLIES_COUNTER)
+        )
+        assert replies >= 3  # one reply per frame, across the pool
+        beats = obs.metrics.labeled_values(HEARTBEAT_GAUGE)
+        assert beats, "no heartbeat gauges recorded"
+        for labels, value in beats:
+            assert set(labels) == {"worker"}
+            assert value > 0.0  # unix-epoch milliseconds
+
+    def test_custom_watchdog_is_used(self):
+        watchdog = Watchdog(slow_after_s=0.001, stalled_after_s=1e9)
+        with RenderExecutor(num_workers=0, watchdog=watchdog) as executor:
+            assert executor.watchdog is watchdog
+            assert executor.health()["mode"] == "sequential"
+
+
+class TestStalledWorker:
+    def test_stall_classified_without_changing_output(self, monkeypatch):
+        # Frame 1 sleeps 1 s *before* rendering; a watchdog with tight
+        # thresholds must call its worker stalled mid-flight, and the
+        # finished frames must still match the sequential render exactly
+        # (report-only: the watchdog never kills or reroutes).
+        monkeypatch.setenv(STALL_ENV, "train:1:1.0")
+        watchdog = Watchdog(slow_after_s=0.05, stalled_after_s=0.2)
+        observed = set()
+        obs = ObsContext.create()
+        with RenderExecutor(num_workers=2, obs=obs, watchdog=watchdog) as executor:
+            handle = executor.submit(quick_job(2))
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                health = executor.health()
+                for worker in health["workers"]:
+                    if worker["state"] != LIVE:
+                        observed.add(worker["state"])
+                        assert worker["inflight"] is not None
+                        assert worker["busy_ms"] > 0.0
+                if STALLED in observed or handle.done():
+                    break
+                time.sleep(0.01)
+            result = handle.result(timeout=300)
+            after = executor.health()
+        assert STALLED in observed, observed
+        # The stall was observed, never acted on: nothing was replaced...
+        assert after["workers_replaced"] == 0
+        # ...and the output is the sequential render's exact bytes.
+        sequential = RenderFarm(num_workers=0).run(quick_job(2))
+        for seq, pooled in zip(sequential.frames, result.frames):
+            assert np.array_equal(seq.image, pooled.image)
+        assert sequential.aggregate_counters() == result.aggregate_counters()

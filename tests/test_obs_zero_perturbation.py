@@ -17,6 +17,7 @@ import pytest
 
 from repro.exec import RenderExecutor
 from repro.obs import ObsContext
+from repro.obs.health import Watchdog
 from repro.sched.scheduler import RequestScheduler, run_workload
 from repro.sched.workload import WorkloadSpec
 from repro.serve.trajectories import RenderJob, make_trajectory
@@ -70,6 +71,22 @@ class TestRenderPathUnperturbed:
     def test_sharded_bitwise_identical(self):
         plain = _run(2, None, shards=2)
         traced = _run(2, ObsContext.create(), shards=2)
+        _assert_results_identical(plain, traced)
+
+    def test_health_plane_polled_mid_run_bitwise_identical(self):
+        # A hyper-sensitive watchdog classifying every worker slow plus
+        # health() polls racing the job: all of it is report-only, so the
+        # output must still be the plain run's exact bytes.
+        plain = _run(2, None)
+        watchdog = Watchdog(slow_after_s=1e-6, stalled_after_s=1e-3)
+        obs = ObsContext.create()
+        with RenderExecutor(num_workers=2, obs=obs, watchdog=watchdog) as executor:
+            handle = executor.submit(quick_job())
+            for _ in range(10):
+                executor.health()  # mid-run polls must not perturb anything
+            traced = handle.result(timeout=300)
+            health = executor.health()
+        assert health["mode"] == "pool" and len(health["workers"]) == 2
         _assert_results_identical(plain, traced)
 
 
