@@ -8,7 +8,11 @@ two contracts:
    The comparison needs a quiet machine to be meaningful, so the 5% bound
    is enforced only with >= 2 usable CPUs (the single-CPU CI fallback
    reports the ratio without asserting — timer noise on a shared core
-   dwarfs the effect being measured).
+   dwarfs the effect being measured).  A third arm turns on the *whole*
+   live telemetry plane — span-stack tracker, 5 ms CPU stack sampler,
+   HTTP server with a scraper polling ``/metrics`` + ``/health`` mid-run
+   — and must stay within 10% of the untraced baseline: the price of
+   leaving live telemetry attached in production.
 2. *Fidelity of the trace itself* — a concurrent 2-worker sharded run
    exported to Chrome trace_event JSON passes schema validation: every
    worker slot has a lane, spans nest request > job > frame > shard, and
@@ -26,13 +30,22 @@ Run with::
 
 from __future__ import annotations
 
+import threading
 import time
+import urllib.request
 
 from conftest import run_once
 
 from repro.exec import RenderExecutor
 from repro.exec.frames import usable_cpu_count
-from repro.obs import ObsContext, chrome_trace, validate_chrome_trace
+from repro.obs import (
+    ObsContext,
+    SpanStackTracker,
+    StackSampler,
+    TelemetryServer,
+    chrome_trace,
+    validate_chrome_trace,
+)
 from repro.serve.trajectories import RenderJob, make_trajectory
 
 SCENE = "train"
@@ -40,6 +53,10 @@ NUM_FRAMES = 2
 #: Warm repeats timed per arm (plus one untimed warm-up iteration).
 NUM_REPEATS = 5
 MAX_OVERHEAD_RATIO = 1.05
+#: Bound for the full live plane (tracer + stack sampler + HTTP scrapes).
+MAX_LIVE_OVERHEAD_RATIO = 1.10
+#: Scrape cadence of the benchmark's in-process "Prometheus" poller.
+SCRAPE_INTERVAL_S = 0.05
 NUM_WORKERS = 2
 NUM_SHARDS = 2
 
@@ -67,9 +84,56 @@ def _timed_warm_seconds(obs: ObsContext | None) -> float:
     return walls[len(walls) // 2]
 
 
+def _timed_warm_seconds_live() -> float:
+    """Median warm-iteration wall time with the full live plane attached:
+    span-stack tracker on the tracer, CPU stack sampler running, HTTP
+    telemetry server up, and a scraper thread polling it mid-render."""
+    obs = ObsContext.create()
+    tracker = SpanStackTracker()
+    obs.tracer.observer = tracker
+    sampler = StackSampler(tracker=tracker)
+    sampler.start()
+    job = _job()
+    walls = []
+    stop = threading.Event()
+    try:
+        with RenderExecutor(num_workers=0, obs=obs) as executor, TelemetryServer(
+            "127.0.0.1",
+            0,
+            tracer=obs.tracer,
+            metrics_fn=executor.collect_metrics,
+            health_fn=executor.health,
+            sampler=sampler,
+        ) as server:
+            base = f"http://{server.address}"
+
+            def scrape() -> None:
+                while not stop.is_set():
+                    for path in ("/metrics", "/health"):
+                        with urllib.request.urlopen(base + path, timeout=30) as resp:
+                            resp.read()
+                    stop.wait(SCRAPE_INTERVAL_S)
+
+            scraper = threading.Thread(target=scrape, daemon=True)
+            scraper.start()
+            executor.submit(job).result()  # warm-up: scene build + cache fill
+            for _ in range(NUM_REPEATS):
+                t0 = time.perf_counter()
+                executor.submit(job).result()
+                walls.append(time.perf_counter() - t0)
+            stop.set()
+            scraper.join()
+    finally:
+        stop.set()
+        sampler.stop()
+    walls.sort()
+    return walls[len(walls) // 2]
+
+
 def measure_obs_overhead() -> dict:
     baseline_s = _timed_warm_seconds(None)
     traced_s = _timed_warm_seconds(ObsContext.create())
+    live_s = _timed_warm_seconds_live()
 
     # Concurrent sharded run whose trace the schema check validates.
     obs = ObsContext.create()
@@ -90,7 +154,9 @@ def measure_obs_overhead() -> dict:
         "usable_cpus": usable_cpu_count(),
         "baseline_warm_s": baseline_s,
         "traced_warm_s": traced_s,
+        "live_warm_s": live_s,
         "overhead_ratio": traced_s / baseline_s if baseline_s > 0 else 0.0,
+        "live_overhead_ratio": live_s / baseline_s if baseline_s > 0 else 0.0,
         "trace_events": trace_info["events"],
         "trace_lanes": trace_info["lanes"],
         "trace_spans": trace_info["spans"],
@@ -107,8 +173,12 @@ def _format_report(result: dict) -> str:
         "",
         f"baseline warm iteration: {result['baseline_warm_s'] * 1e3:9.2f} ms",
         f"traced   warm iteration: {result['traced_warm_s'] * 1e3:9.2f} ms",
+        f"live     warm iteration: {result['live_warm_s'] * 1e3:9.2f} ms "
+        "(tracer + stack sampler + HTTP scrapes)",
         f"overhead ratio: {result['overhead_ratio']:.4f} "
         f"(bound {MAX_OVERHEAD_RATIO:.2f}, enforced with >= 2 cpus)",
+        f"live overhead ratio: {result['live_overhead_ratio']:.4f} "
+        f"(bound {MAX_LIVE_OVERHEAD_RATIO:.2f}, enforced with >= 2 cpus)",
         "",
         f"sharded trace: {result['trace_events']} events on lanes "
         f"{','.join(result['trace_lanes'])}",
@@ -140,4 +210,7 @@ def test_obs_overhead_and_trace_shape(benchmark, save_report, save_json, save_tr
     if result["usable_cpus"] >= 2:
         assert result["overhead_ratio"] <= MAX_OVERHEAD_RATIO, result[
             "overhead_ratio"
+        ]
+        assert result["live_overhead_ratio"] <= MAX_LIVE_OVERHEAD_RATIO, result[
+            "live_overhead_ratio"
         ]

@@ -75,6 +75,7 @@ from repro.exec.worker import DEFAULT_WORKER_CACHE_SIZE, worker_main
 from repro.gaussians.model import GaussianScene
 from repro.obs import DEFAULT_BYTE_BUCKETS, MetricsRegistry, ObsContext, TracerStageHook
 from repro.obs.health import HEARTBEAT_GAUGE, REPLIES_COUNTER, Watchdog, summarize_states
+from repro.obs.resources import ResourceSampler, record_resource_gauges
 from repro.render.kernels import set_stage_hook
 from repro.store.codec import quant_spec
 
@@ -340,6 +341,10 @@ class RenderExecutor:
         #: every reply, merged into ``obs.metrics`` at shutdown) — replace
         #: semantics make the tallies crash-safe without delta tracking.
         self._worker_metrics: dict[int, list] = {}
+        #: Per-worker ``/proc`` sampler: the parent reads each worker's
+        #: CPU/RSS/ctx-switches by pid on replies and health polls, so the
+        #: resource plane costs zero new protocol traffic.
+        self._resources = ResourceSampler()
 
         self._lock = threading.RLock()
         self._resident: "OrderedDict[tuple, GaussianScene]" = OrderedDict()
@@ -496,17 +501,26 @@ class RenderExecutor:
                     slot.sent_ns,
                     slot.last_reply_ns or slot.spawned_ns,
                     slot.tasks_done,
+                    slot.process.pid,
                 )
                 for slot in self._workers.values()
             ]
         workers = []
-        for worker_id, inflight, sent_ns, beat_ns, tasks_done in sorted(slots):
+        for worker_id, inflight, sent_ns, beat_ns, tasks_done, pid in sorted(slots):
             busy_s = (now_ns - sent_ns) / 1e9 if inflight is not None else None
+            # /proc sampling happens outside the dispatcher lock: it's a
+            # couple of file reads per worker and must not stall dispatch.
+            resources = self._resources.sample(pid) if pid is not None else None
+            cpu = resources["cpu_percent"] if resources is not None else None
             workers.append(
                 {
                     "worker": worker_id,
-                    "state": self.watchdog.classify(busy_s),
+                    # CPU% refines the slow band: a busy-but-progressing
+                    # worker on a loaded machine stays live (report-only).
+                    "state": self.watchdog.classify(busy_s, cpu),
                     "busy_ms": None if busy_s is None else round(busy_s * 1e3, 3),
+                    "cpu_percent": None if cpu is None else round(cpu, 1),
+                    "rss_bytes": None if resources is None else resources["rss_bytes"],
                     "inflight": None
                     if inflight is None
                     else {
@@ -899,6 +913,12 @@ class RenderExecutor:
         worker_label = {"worker": str(slot.worker_id)}
         self._obs.metrics.gauge(HEARTBEAT_GAUGE, worker_label).set(recv_ns / 1e6)
         self._obs.metrics.counter(REPLIES_COUNTER, worker_label).inc()
+        # Piggyback the resource plane on the same reply: a couple of
+        # /proc reads by pid, no extra worker->parent traffic.
+        if slot.process.pid is not None:
+            sample = self._resources.sample(slot.process.pid)
+            if sample is not None:
+                record_resource_gauges(self._obs.metrics, sample, worker_label)
         with self._lock:
             self._worker_metrics[slot.worker_id] = metrics_snapshot
 
@@ -944,6 +964,9 @@ class RenderExecutor:
             if self._workers.get(slot.worker_id) is not slot:
                 return  # already reaped
             del self._workers[slot.worker_id]
+            if slot.process.pid is not None:
+                # Drop the CPU baseline so a recycled pid can't inherit it.
+                self._resources.forget(slot.process.pid)
             slot.process.join(timeout=5.0)
             code = slot.process.exitcode
             try:

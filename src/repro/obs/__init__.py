@@ -48,7 +48,19 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    monotonic_ms,
 )
+from repro.obs.profile import (
+    KERNEL_STAGES,
+    CompositeObserver,
+    MemoryAttributor,
+    SpanStackTracker,
+    StackSampler,
+    attribute_stages,
+    collapse_text,
+)
+from repro.obs.resources import ResourceSampler, resources_from_snapshot
+from repro.obs.server import TelemetryServer, parse_listen
 from repro.obs.trace import VIRTUAL, WALL, Tracer, TracerStageHook
 
 __all__ = [
@@ -83,6 +95,18 @@ __all__ = [
     "firing_rules",
     "load_rules",
     "load_trace",
+    "monotonic_ms",
+    "KERNEL_STAGES",
+    "CompositeObserver",
+    "MemoryAttributor",
+    "SpanStackTracker",
+    "StackSampler",
+    "attribute_stages",
+    "collapse_text",
+    "ResourceSampler",
+    "resources_from_snapshot",
+    "TelemetryServer",
+    "parse_listen",
 ]
 
 

@@ -31,6 +31,7 @@ from pathlib import Path
 from repro.obs.alerts import AlertEngine, firing_rules, load_rules, samples_from_schedule_log
 from repro.obs.analysis import analyze, diff_analyses, events_from_trace, load_trace
 from repro.obs.exporters import export_html, parse_prometheus_snapshot
+from repro.obs.resources import diff_resources, resources_from_snapshot
 
 #: Exit code when at least one alert rule is firing — distinct from
 #: argparse's 2 so scripts can tell "SLO violated" from "bad usage".
@@ -46,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", help="Prometheus text metrics file")
     parser.add_argument(
         "--diff-trace", help="baseline trace file to diff the fresh analysis against"
+    )
+    parser.add_argument(
+        "--diff-metrics",
+        help="baseline Prometheus metrics file to diff per-worker resources "
+        "(CPU%%, RSS, ctx switches) against",
     )
     parser.add_argument(
         "--baseline",
@@ -78,25 +84,23 @@ def _resolve_baseline(spec: str) -> str:
     return spec  # let open() raise with the original spelling
 
 
-def _alert_samples(records: list[dict], metrics_path: str | None) -> list[tuple]:
+def _alert_samples(records: list[dict], metrics_snapshot: list | None) -> list[tuple]:
     """The timeline the alert engine evaluates.
 
     A sched trace carries the decision log as virtual instants, so it
     replays into a full cumulative metric timeline (multi-window burn
-    rates get history); the metrics file, when given, is appended as the
-    final cumulative sample — it is the run's end state, and it brings
-    the data-plane series (render/decode histograms, cache counters)
-    that the decision log alone cannot reconstruct.
+    rates get history); the metrics snapshot, when given, is appended as
+    the final cumulative sample — it is the run's end state, and it
+    brings the data-plane series (render/decode histograms, cache
+    counters) that the decision log alone cannot reconstruct.
     """
     samples: list[tuple] = []
     events = events_from_trace(records) if records else []
     if events:
         samples = samples_from_schedule_log(events)
-    if metrics_path:
-        with open(metrics_path, "r", encoding="utf-8") as fh:
-            snapshot = parse_prometheus_snapshot(fh.read())
+    if metrics_snapshot is not None:
         t_last = samples[-1][0] if samples else 0.0
-        samples.append((t_last, snapshot))
+        samples.append((t_last, metrics_snapshot))
     return samples
 
 
@@ -155,6 +159,44 @@ def _format_text(report: dict) -> str:
             lines.append("  no stage regressed")
         if diff["attribution"]:
             lines.append(f"  attribution  {diff['attribution']}")
+    resources = report.get("resources")
+    if resources:
+        lines.append("worker resources")
+        for worker, info in resources["workers"].items():
+            cpu = "?" if info["cpu_percent"] is None else f"{info['cpu_percent']:.1f}%"
+            rss = (
+                "?"
+                if info["rss_bytes"] is None
+                else f"{info['rss_bytes'] / (1 << 20):.1f} MiB"
+            )
+            ctx = info.get("ctx_switches", {})
+            lines.append(
+                f"  worker {worker:<4} cpu {cpu:>7}  rss {rss:>10}  "
+                f"ctx v={ctx.get('voluntary', 0):.0f} i={ctx.get('involuntary', 0):.0f}"
+            )
+    resources_diff = report.get("resources_diff")
+    if resources_diff:
+        lines.append("worker resources diff")
+        for worker, entry in resources_diff["workers"].items():
+            if entry.get("base") is None or entry.get("current") is None:
+                side = "base" if entry.get("base") is not None else "current"
+                lines.append(f"  worker {worker:<4} only in {side} run")
+                continue
+            rss_delta = entry.get("rss_delta_bytes")
+            cpu_delta = entry.get("cpu_delta_percent")
+            lines.append(
+                f"  worker {worker:<4} "
+                + (
+                    f"rss {rss_delta / (1 << 20):+.1f} MiB"
+                    if rss_delta is not None
+                    else "rss n/a"
+                )
+                + (
+                    f"  cpu {cpu_delta:+.1f}%"
+                    if cpu_delta is not None
+                    else "  cpu n/a"
+                )
+            )
     alerts = report.get("alerts")
     if alerts is not None:
         if alerts["firing"]:
@@ -177,6 +219,25 @@ def main(argv: list[str] | None = None) -> int:
         records = load_trace(args.trace)
         report["analysis"] = analyze(records)
 
+    metrics_snapshot = None
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as fh:
+            metrics_snapshot = parse_prometheus_snapshot(fh.read())
+        resources = resources_from_snapshot(metrics_snapshot)
+        if resources:
+            report["resources"] = resources
+
+    if args.diff_metrics:
+        if not args.metrics:
+            build_parser().error("--diff-metrics requires --metrics")
+        with open(args.diff_metrics, "r", encoding="utf-8") as fh:
+            base_resources = resources_from_snapshot(
+                parse_prometheus_snapshot(fh.read())
+            )
+        report["resources_diff"] = diff_resources(
+            base_resources, report.get("resources", {})
+        )
+
     if args.diff_trace or args.baseline:
         if not args.trace:
             build_parser().error("--diff-trace/--baseline require --trace")
@@ -197,7 +258,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.alerts:
         with open(args.alerts, "r", encoding="utf-8") as fh:
             rules = load_rules(json.load(fh))
-        samples = _alert_samples(records, args.metrics)
+        samples = _alert_samples(records, metrics_snapshot)
         log = AlertEngine(rules).evaluate(samples)
         firing = firing_rules(log)
         report["alerts"] = {"rules": len(rules), "log": log, "firing": firing}

@@ -174,7 +174,13 @@ def _fmt_labels(labels: dict, extra: dict | None = None) -> str:
 
 
 def prometheus_text(registry: MetricsRegistry) -> str:
-    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    Gauges carry their monotonic ``sample_ms`` stamp as the exposition
+    format's optional sample timestamp, so a scraper can tell a fresh
+    sample from a stale one even when the value is unchanged between
+    scrapes.
+    """
     lines: list[str] = []
     typed: set[str] = set()
     for name, labels, series in registry.series():
@@ -191,8 +197,32 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(series.sum)}")
             lines.append(f"{name}_count{_fmt_labels(labels)} {series.count}")
         else:
-            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(series.value)}")
+            stamp = ""
+            if series.kind == "gauge" and series.sample_ms is not None:
+                stamp = f" {series.sample_ms}"
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(series.value)}{stamp}")
     return "\n".join(lines) + "\n" if lines else ""
+
+
+def _split_sample_line(line: str) -> tuple[str, float, int | None]:
+    """One exposition sample line as ``(series_key, value, timestamp)``.
+
+    Label values may contain spaces, so the series key runs through the
+    *last* ``}`` when labels are present; the remainder is the value plus
+    the optional integer sample timestamp.  Raises ``ValueError`` on
+    anything else.
+    """
+    if "}" in line:
+        end = line.rindex("}") + 1
+        series, rest = line[:end], line[end:].split()
+    else:
+        parts = line.split()
+        series, rest = parts[0], parts[1:]
+    if len(rest) == 1:
+        return series, float(rest[0]), None
+    if len(rest) == 2:
+        return series, float(rest[0]), int(rest[1])
+    raise ValueError(f"expected 'series value [timestamp]', got {line!r}")
 
 
 def parse_prometheus_text(text: str) -> dict[str, float]:
@@ -212,9 +242,9 @@ def parse_prometheus_text(text: str) -> dict[str, float]:
                     raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
             continue
         try:
-            series, value = line.rsplit(" ", 1)
-            out[series] = float(value)
-        except ValueError as exc:
+            series, value, _ = _split_sample_line(line)
+            out[series] = value
+        except (ValueError, IndexError) as exc:
             raise ValueError(f"line {lineno}: bad sample line {line!r}") from exc
         if "{" in series and not series.endswith("}"):
             raise ValueError(f"line {lineno}: unbalanced labels in {line!r}")
@@ -280,7 +310,7 @@ def parse_prometheus_snapshot(text: str) -> list[dict]:
     come from the ``# TYPE`` lines.
     """
     types: dict[str, str] = {}
-    samples: list[tuple[str, dict, float]] = []
+    samples: list[tuple[str, dict, float, int | None]] = []
     for lineno, line in enumerate(text.splitlines(), 1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -291,10 +321,10 @@ def parse_prometheus_snapshot(text: str) -> list[dict]:
                 types[parts[2]] = parts[3]
             continue
         try:
-            series, value = line.rsplit(" ", 1)
+            series, value, stamp = _split_sample_line(line)
             name, labels = parse_prometheus_labels(series)
-            samples.append((name, labels, float(value)))
-        except ValueError as exc:
+            samples.append((name, labels, value, stamp))
+        except (ValueError, IndexError) as exc:
             raise ValueError(f"line {lineno}: bad sample line {line!r}") from exc
 
     def hist_base(name: str) -> str | None:
@@ -307,7 +337,7 @@ def parse_prometheus_snapshot(text: str) -> list[dict]:
 
     entries: dict[tuple, dict] = {}
     hist_buckets: dict[tuple, list[tuple[float, int]]] = {}
-    for name, labels, value in samples:
+    for name, labels, value, stamp in samples:
         base = hist_base(name)
         if base is not None:
             key_labels = {k: v for k, v in labels.items() if k != "le"}
@@ -341,6 +371,8 @@ def parse_prometheus_snapshot(text: str) -> list[dict]:
                 "labels": labels,
                 "value": value,
             }
+            if kind == "gauge" and stamp is not None:
+                entries[key]["sample_ms"] = stamp
     for key, bounds in hist_buckets.items():
         bounds.sort(key=lambda b: b[0])
         cumulative = [count for _, count in bounds]

@@ -57,17 +57,33 @@ class Watchdog:
 
     slow_after_s: float = 2.0
     stalled_after_s: float = 10.0
+    #: A worker in the *slow* band burning at least this CPU% (of one
+    #: core) is still making progress — a big frame on a loaded machine,
+    #: not a sick process — and stays ``live``.  The fold never rescues
+    #: the *stalled* band: a worker past ``stalled_after_s`` at high CPU
+    #: is a spin loop, which is exactly what stalled should flag.
+    progress_cpu_percent: float = 50.0
 
     def __post_init__(self):
         if not 0 < self.slow_after_s <= self.stalled_after_s:
             raise ValueError("need 0 < slow_after_s <= stalled_after_s")
+        if not self.progress_cpu_percent > 0:
+            raise ValueError("need progress_cpu_percent > 0")
 
-    def classify(self, busy_s: float | None) -> str:
+    def classify(self, busy_s: float | None, cpu_percent: float | None = None) -> str:
         """State for a worker whose task has been in flight ``busy_s``
-        seconds (``None`` = idle)."""
+        seconds (``None`` = idle).
+
+        ``cpu_percent`` (when the resource plane has a sample) refines
+        only the slow band: busy-but-progressing demotes to ``live``.
+        ``None`` — no ``/proc``, or a first sample with no baseline —
+        leaves the time-only classification untouched.
+        """
         if busy_s is None or busy_s < self.slow_after_s:
             return LIVE
         if busy_s < self.stalled_after_s:
+            if cpu_percent is not None and cpu_percent >= self.progress_cpu_percent:
+                return LIVE
             return SLOW
         return STALLED
 

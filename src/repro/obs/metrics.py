@@ -20,6 +20,7 @@ inclusive, and an implicit ``+Inf`` bucket catches the rest, so
 from __future__ import annotations
 
 import bisect
+import time
 from typing import Iterable
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "monotonic_ms",
 ]
 
 # Log-ish spacing from sub-millisecond stage costs up to multi-second
@@ -54,17 +56,34 @@ class Counter:
         self.value += amount
 
 
-class Gauge:
-    """Point-in-time value; ``set`` replaces, merge is last-write-wins."""
+def monotonic_ms() -> int:
+    """The monotonic millisecond clock gauge samples are stamped with."""
+    return time.monotonic_ns() // 1_000_000
 
-    __slots__ = ("value",)
+
+class Gauge:
+    """Point-in-time value; ``set`` replaces, merge is last-write-wins.
+
+    Every ``set`` stamps ``sample_ms`` from the monotonic clock (integer
+    milliseconds), so two scrapes of the same gauge value are
+    distinguishable: a live series carries a fresh stamp, a stale one —
+    e.g. a worker gauge surviving between runs — keeps the stamp of its
+    last real sample.  The stamp travels through ``snapshot()``/
+    ``merge()`` and the Prometheus exposition (as the optional sample
+    timestamp); pass an explicit ``sample_ms`` to preserve an original
+    stamp when relaying a sample.
+    """
+
+    __slots__ = ("value", "sample_ms")
     kind = "gauge"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self.sample_ms: int | None = None
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, sample_ms: int | None = None) -> None:
         self.value = float(value)
+        self.sample_ms = monotonic_ms() if sample_ms is None else int(sample_ms)
 
 
 class Histogram:
@@ -203,6 +222,8 @@ class MetricsRegistry:
                 )
             else:
                 entry["value"] = series.value
+                if series.kind == "gauge" and series.sample_ms is not None:
+                    entry["sample_ms"] = series.sample_ms
             out.append(entry)
         return out
 
@@ -218,7 +239,11 @@ class MetricsRegistry:
             if kind == "counter":
                 self.counter(name, labels).inc(entry["value"])
             elif kind == "gauge":
-                self.gauge(name, labels).set(entry["value"])
+                # Carry the original sample stamp through the merge (a
+                # legacy stamp-less entry is stamped at merge time).
+                self.gauge(name, labels).set(
+                    entry["value"], sample_ms=entry.get("sample_ms")
+                )
             elif kind == "histogram":
                 hist = self.histogram(name, labels, buckets=entry["buckets"])
                 if list(hist.buckets) != [float(b) for b in entry["buckets"]]:

@@ -53,7 +53,7 @@ class _SpanHandle:
     parent before it closes) and, after exit, ``dur_ms``.
     """
 
-    __slots__ = ("_tracer", "name", "lane", "attrs", "span_id", "parent", "t0_ms", "_t0_perf", "dur_ms")
+    __slots__ = ("_tracer", "name", "lane", "attrs", "span_id", "parent", "t0_ms", "_t0_perf", "dur_ms", "_obs_token")
 
     def __init__(self, tracer: "Tracer", name: str, lane: str | None, attrs: dict | None):
         self._tracer = tracer
@@ -75,6 +75,8 @@ class _SpanHandle:
         if self.lane is None:
             self.lane = tracer.default_lane
         self.span_id = tracer._next_id()
+        observer = tracer.observer
+        self._obs_token = None if observer is None else observer.span_enter(self.name)
         self.t0_ms = wall_now_ms()
         self._t0_perf = time.perf_counter()
         stack.append(self)
@@ -82,6 +84,9 @@ class _SpanHandle:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.dur_ms = (time.perf_counter() - self._t0_perf) * 1e3
+        observer = self._tracer.observer
+        if observer is not None:
+            observer.span_exit(self.name, self._obs_token)
         stack = self._tracer._stack()
         if stack and stack[-1] is self:
             stack.pop()
@@ -107,6 +112,12 @@ class Tracer:
     def __init__(self, origin: str = "main", default_lane: str = "main"):
         self.origin = origin
         self.default_lane = default_lane
+        #: Optional span observer — an object with ``span_enter(name) ->
+        #: token`` / ``span_exit(name, token)`` called at ``with``-span
+        #: entry and exit (the live profiling plane's hook: stage-stack
+        #: tracking for the CPU sampler, per-span memory attribution).
+        #: ``None`` (default) costs one attribute read per span.
+        self.observer = None
         self._lock = threading.Lock()
         self._records: list[dict] = []
         self._seq = 0
@@ -183,6 +194,20 @@ class Tracer:
     def __len__(self) -> int:
         with self._lock:
             return len(self._records)
+
+    def spans_since(self, cursor: int = 0) -> tuple[list[dict], int]:
+        """Records appended since ``cursor`` plus the new cursor.
+
+        The cursor is an index into the record list: a client tails the
+        trace by passing back the cursor each call and receiving only the
+        spans recorded in between (the ``/trace.jsonl`` endpoint's
+        incremental contract).  Cursors are only meaningful on tracers
+        that are never :meth:`drain`-ed (the parent-side tracer; worker
+        tracers drain after every task).  An out-of-range cursor clamps.
+        """
+        with self._lock:
+            start = max(0, min(int(cursor), len(self._records)))
+            return list(self._records[start:]), len(self._records)
 
     def drain(self) -> list[dict]:
         """Pop and return all records (workers ship these after each task)."""

@@ -31,7 +31,17 @@ import sys
 from repro.eval.reporting import format_table
 from repro.eval.scenes import EVAL_SCENES
 from repro.gaussians.synthetic import BENCHMARK_SCENES
-from repro.obs import ObsContext, export_metrics, export_trace
+from repro.obs import (
+    CompositeObserver,
+    MemoryAttributor,
+    ObsContext,
+    SpanStackTracker,
+    StackSampler,
+    TelemetryServer,
+    export_metrics,
+    export_trace,
+    parse_listen,
+)
 from repro.render.common import BACKENDS
 from repro.sched.qos import (
     DEFAULT_LADDER,
@@ -280,6 +290,27 @@ def build_parser() -> argparse.ArgumentParser:
             "if any rule is firing at the end of the run"
         ),
     )
+    telemetry = parser.add_argument_group("telemetry")
+    telemetry.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help=(
+            "serve live telemetry over HTTP while the run executes: "
+            "/metrics (Prometheus), /health (JSON), /trace.jsonl "
+            "(incremental span tail), /profile?seconds=N (collapsed-stack "
+            "CPU capture), / (timeline HTML); port 0 binds an ephemeral "
+            "port (printed to stderr); implies an obs context"
+        ),
+    )
+    telemetry.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help=(
+            "additionally attribute allocations per kernel stage / decode "
+            "span via tracemalloc (adds tracing overhead; surfaces in "
+            "/profile?format=json; requires --listen)"
+        ),
+    )
     return parser
 
 
@@ -368,8 +399,33 @@ def main(argv: list[str] | None = None) -> int:
         slo_ms=args.slo_ms,
         seed=args.seed,
     )
-    needs_obs = args.trace_out or args.metrics_out or args.analyze_out
+    if args.profile_memory and not args.listen:
+        parser.error("--profile-memory requires --listen")
+    listen_addr = None
+    if args.listen:
+        try:
+            listen_addr = parse_listen(args.listen)
+        except ValueError as exc:
+            parser.error(str(exc))
+    needs_obs = args.trace_out or args.metrics_out or args.analyze_out or args.listen
     obs = ObsContext.create() if needs_obs else None
+    sampler = memory = None
+    if listen_addr is not None:
+        # The live profiling plane rides the tracer's observer slot: the
+        # span tracker tags CPU samples with the innermost kernel-stage
+        # span, and (opt-in) the memory attributor brackets the same
+        # spans with tracemalloc readings.  All of it reads measured
+        # values only — the zero-perturbation suite pins that attaching
+        # it changes no rendered bit and no scheduler decision.
+        tracker = SpanStackTracker()
+        sampler = StackSampler(tracker=tracker)
+        if args.profile_memory:
+            memory = MemoryAttributor()
+            memory.start()
+            obs.tracer.observer = CompositeObserver(tracker, memory)
+        else:
+            obs.tracer.observer = tracker
+        sampler.start()
     with RequestScheduler(
         policy=SchedulerPolicy(
             num_workers=args.workers,
@@ -383,9 +439,32 @@ def main(argv: list[str] | None = None) -> int:
         execute=args.execute,
         obs=obs,
     ) as scheduler:
-        report = run_workload(spec, scheduler)
-        # Health must be read while the pool is alive (close() empties it).
-        health = scheduler.health()
+        server = None
+        try:
+            if listen_addr is not None:
+                server = TelemetryServer(
+                    *listen_addr,
+                    tracer=obs.tracer,
+                    metrics_fn=scheduler.live_metrics,
+                    health_fn=scheduler.health,
+                    sampler=sampler,
+                    memory=memory,
+                ).start()
+                print(
+                    f"telemetry: listening on http://{server.address}/",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            report = run_workload(spec, scheduler)
+            # Health must be read while the pool is alive (close() empties it).
+            health = scheduler.health()
+        finally:
+            if server is not None:
+                server.stop()
+            if sampler is not None:
+                sampler.stop()
+            if memory is not None:
+                memory.stop()
     if obs is not None:
         if args.trace_out:
             export_trace(args.trace_out, obs.tracer)

@@ -580,6 +580,10 @@ class RequestScheduler:
             )
             self._owns_executor = True
         self.executor = executor
+        #: The active run's per-run registry (set by :meth:`run`); read by
+        #: :meth:`live_metrics` so a scraper sees decision-plane counters
+        #: while the run is still executing.
+        self._run_metrics: MetricsRegistry | None = None
 
     def close(self) -> None:
         """Shut down an executor this scheduler built for itself."""
@@ -594,6 +598,26 @@ class RequestScheduler:
         :meth:`close` (the pool's slots empty at shutdown).
         """
         return None if self.executor is None else self.executor.health()
+
+    def live_metrics(self) -> MetricsRegistry:
+        """One merged registry of everything this scheduler can see *now*.
+
+        Combines the executor's live merge (parent registry + latest
+        per-worker snapshots + derived ratios), the obs context's own
+        registry on executor-less runs, and the active run's decision-
+        plane counters.  Built fresh per call into a throwaway registry —
+        a pure read, safe to call from the telemetry server's scrape
+        threads mid-run.
+        """
+        registry = MetricsRegistry()
+        if self.executor is not None:
+            registry.merge(self.executor.collect_metrics().snapshot())
+        elif self._obs is not None:
+            registry.merge(self._obs.metrics.snapshot())
+        run_metrics = self._run_metrics
+        if run_metrics is not None:
+            registry.merge(run_metrics.snapshot())
+        return registry
 
     def __enter__(self) -> "RequestScheduler":
         return self

@@ -31,6 +31,7 @@ unrecognised scene files) exit with ``argparse``'s usual status 2.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -219,6 +220,26 @@ def build_parser() -> argparse.ArgumentParser:
             "metrics; exit 3 if any rule is firing"
         ),
     )
+    parser.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help=(
+            "serve live telemetry over HTTP while the job renders: "
+            "/metrics (Prometheus), /health (JSON), /trace.jsonl "
+            "(incremental span tail), /profile?seconds=N (collapsed-stack "
+            "CPU capture), / (timeline HTML); port 0 binds an ephemeral "
+            "port (printed to stderr); implies an obs context"
+        ),
+    )
+    parser.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help=(
+            "additionally attribute allocations per kernel stage / decode "
+            "span via tracemalloc (adds tracing overhead; surfaces in "
+            "/profile?format=json; requires --listen)"
+        ),
+    )
     return parser
 
 
@@ -242,7 +263,7 @@ def _register_scene_file(path: str) -> str:
 
 
 def run_repeated(
-    job: RenderJob, args: argparse.Namespace, on_frame, obs=None
+    job: RenderJob, args: argparse.Namespace, on_frame, obs=None, executor=None
 ) -> tuple[list[JobResult], dict, dict]:
     """Run ``job`` ``args.repeat`` times on one persistent executor.
 
@@ -250,14 +271,20 @@ def run_repeated(
     preparation, payload encode + worker decode); every later iteration
     lands on resident scenes.  Returns the per-iteration results, the
     executor's aggregate residency stats, and its final health report
-    (read while the pool is still alive).
+    (read while the pool is still alive).  A caller-supplied ``executor``
+    (the ``--listen`` path, which needs live metrics/health views on it)
+    is used as-is and stays open; otherwise a private one is created and
+    torn down here.
     """
     from repro.exec import RenderExecutor
 
     results = []
-    with RenderExecutor(
-        num_workers=args.workers, mp_context=args.mp_context, obs=obs
-    ) as executor:
+    ctx = (
+        contextlib.nullcontext(executor)
+        if executor is not None
+        else RenderExecutor(num_workers=args.workers, mp_context=args.mp_context, obs=obs)
+    )
+    with ctx as executor:
         for _ in range(args.repeat):
             results.append(executor.submit(job, on_frame=on_frame).result())
         stats = executor.stats.as_dict()
@@ -377,12 +404,69 @@ def main(argv: list[str] | None = None) -> int:
         shards=args.shards,
         dtype=args.dtype,
     )
+    if args.profile_memory and not args.listen:
+        parser.error("--profile-memory requires --listen")
+    listen_addr = None
+    if args.listen:
+        from repro.obs import parse_listen
+
+        try:
+            listen_addr = parse_listen(args.listen)
+        except ValueError as exc:
+            parser.error(str(exc))
     obs = None
-    if args.trace_out or args.metrics_out or args.analyze_out or args.alerts:
+    if args.trace_out or args.metrics_out or args.analyze_out or args.alerts or args.listen:
         from repro.obs import ObsContext
 
         obs = ObsContext.create()
-    farm = RenderFarm(num_workers=args.workers, mp_context=args.mp_context, obs=obs)
+    server = sampler = memory = shared_executor = None
+    if listen_addr is not None:
+        # Live telemetry needs views onto a *live* executor, so the
+        # --listen path builds one shared executor up front (instead of
+        # the farm's per-job transient) and serves scrapes off it.  The
+        # profiling plane rides the tracer's observer slot — span-stack
+        # tags for the CPU sampler, opt-in tracemalloc brackets — all
+        # read-only by construction (zero-perturbation contract).
+        from repro.exec import RenderExecutor
+        from repro.obs import (
+            CompositeObserver,
+            MemoryAttributor,
+            SpanStackTracker,
+            StackSampler,
+            TelemetryServer,
+        )
+
+        tracker = SpanStackTracker()
+        sampler = StackSampler(tracker=tracker)
+        if args.profile_memory:
+            memory = MemoryAttributor()
+            memory.start()
+            obs.tracer.observer = CompositeObserver(tracker, memory)
+        else:
+            obs.tracer.observer = tracker
+        sampler.start()
+        shared_executor = RenderExecutor(
+            num_workers=args.workers, mp_context=args.mp_context, obs=obs
+        )
+        server = TelemetryServer(
+            *listen_addr,
+            tracer=obs.tracer,
+            metrics_fn=shared_executor.collect_metrics,
+            health_fn=shared_executor.health,
+            sampler=sampler,
+            memory=memory,
+        ).start()
+        print(
+            f"telemetry: listening on http://{server.address}/",
+            file=sys.stderr,
+            flush=True,
+        )
+    farm = RenderFarm(
+        num_workers=args.workers,
+        mp_context=args.mp_context,
+        obs=obs,
+        executor=shared_executor,
+    )
     on_frame = None
     if args.progress:
 
@@ -394,14 +478,28 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     health = None
-    if args.repeat > 1:
-        results, stats, health = run_repeated(job, args, on_frame, obs=obs)
-        result = results[-1]
-        repeat = repeat_summary(results, stats)
-        repeat["health"] = health
-    else:
-        result = farm.run(job, on_frame=on_frame)
-        repeat = None
+    try:
+        if args.repeat > 1:
+            results, stats, health = run_repeated(
+                job, args, on_frame, obs=obs, executor=shared_executor
+            )
+            result = results[-1]
+            repeat = repeat_summary(results, stats)
+            repeat["health"] = health
+        else:
+            result = farm.run(job, on_frame=on_frame)
+            if shared_executor is not None:
+                health = shared_executor.health()
+            repeat = None
+    finally:
+        if server is not None:
+            server.stop()
+        if sampler is not None:
+            sampler.stop()
+        if memory is not None:
+            memory.stop()
+        if shared_executor is not None:
+            shared_executor.shutdown(wait=True)
     if obs is not None:
         from repro.obs import export_metrics, export_trace
 

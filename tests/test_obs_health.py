@@ -11,6 +11,7 @@ identical to the sequential path once it lands.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -54,6 +55,30 @@ class TestWatchdog:
             Watchdog(slow_after_s=0.0)
         with pytest.raises(ValueError):
             Watchdog(slow_after_s=5.0, stalled_after_s=1.0)
+        with pytest.raises(ValueError):
+            Watchdog(progress_cpu_percent=0.0)
+
+    def test_cpu_fold_demotes_slow_to_live(self):
+        # A worker in the slow band that is burning CPU is rendering a
+        # big frame on a loaded machine, not sick: report it live.
+        watchdog = Watchdog(slow_after_s=2.0, stalled_after_s=10.0)
+        assert watchdog.classify(5.0, cpu_percent=95.0) == LIVE
+        assert watchdog.classify(5.0, cpu_percent=50.0) == LIVE  # at threshold
+        assert watchdog.classify(5.0, cpu_percent=10.0) == SLOW
+        assert watchdog.classify(5.0, cpu_percent=0.0) == SLOW
+
+    def test_cpu_fold_never_rescues_stalled(self):
+        # High CPU past the stalled threshold is a spin loop — exactly
+        # what stalled should flag, so the fold must not demote it.
+        watchdog = Watchdog(slow_after_s=2.0, stalled_after_s=10.0)
+        assert watchdog.classify(11.0, cpu_percent=100.0) == STALLED
+        assert watchdog.classify(11.0, cpu_percent=0.0) == STALLED
+
+    def test_unknown_cpu_keeps_time_only_classification(self):
+        # None = no /proc or no baseline yet; never treated as 0%.
+        watchdog = Watchdog(slow_after_s=2.0, stalled_after_s=10.0)
+        assert watchdog.classify(5.0, cpu_percent=None) == SLOW
+        assert watchdog.classify(1.0, cpu_percent=None) == LIVE
 
     def test_summarize_states_counts_every_state(self):
         workers = [{"state": LIVE}, {"state": LIVE}, {"state": STALLED}]
@@ -87,6 +112,22 @@ class TestHealthReport:
             assert worker["last_reply_age_ms"] >= 0.0
         assert sum(w["tasks_done"] for w in health["workers"]) >= 2
 
+    def test_pool_reports_worker_resources(self):
+        # The resource plane rides health() polls: per-worker RSS comes
+        # straight from /proc by pid (skip where /proc is unavailable).
+        from repro.obs.resources import read_proc_sample
+
+        if read_proc_sample(os.getpid()) is None:
+            pytest.skip("/proc not available on this platform")
+        with RenderExecutor(num_workers=2) as executor:
+            executor.submit(quick_job(2)).result(timeout=300)
+            executor.health()  # baseline sample: cpu unknown on the first
+            health = executor.health()
+        for worker in health["workers"]:
+            assert worker["rss_bytes"] > 1 << 20
+            assert worker["cpu_percent"] is not None
+            assert worker["cpu_percent"] >= 0.0
+
     def test_heartbeat_gauges_piggyback_on_replies(self):
         obs = ObsContext.create()
         with RenderExecutor(num_workers=2, obs=obs) as executor:
@@ -101,6 +142,14 @@ class TestHealthReport:
         for labels, value in beats:
             assert set(labels) == {"worker"}
             assert value > 0.0  # unix-epoch milliseconds
+        # The resource plane piggybacks on the same replies: per-worker
+        # RSS gauges appear whenever /proc can be read.
+        from repro.obs.resources import RSS_GAUGE, read_proc_sample
+
+        if read_proc_sample(os.getpid()) is not None:
+            rss = obs.metrics.labeled_values(RSS_GAUGE)
+            assert rss, "no worker RSS gauges recorded"
+            assert all(value > 0 for _, value in rss)
 
     def test_custom_watchdog_is_used(self):
         watchdog = Watchdog(slow_after_s=0.001, stalled_after_s=1e9)

@@ -11,12 +11,21 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import threading
+import urllib.request
 
 import numpy as np
 import pytest
 
 from repro.exec import RenderExecutor
-from repro.obs import ObsContext
+from repro.obs import (
+    CompositeObserver,
+    MemoryAttributor,
+    ObsContext,
+    SpanStackTracker,
+    StackSampler,
+    TelemetryServer,
+)
 from repro.obs.health import Watchdog
 from repro.sched.scheduler import RequestScheduler, run_workload
 from repro.sched.workload import WorkloadSpec
@@ -88,6 +97,111 @@ class TestRenderPathUnperturbed:
             health = executor.health()
         assert health["mode"] == "pool" and len(health["workers"]) == 2
         _assert_results_identical(plain, traced)
+
+
+def _live_plane(obs):
+    """Attach the full telemetry plane to ``obs``: span tracker + memory
+    attributor on the tracer's observer slot, a fast CPU sampler, and a
+    started attributor.  Returns (sampler, memory); caller stops both."""
+    tracker = SpanStackTracker()
+    memory = MemoryAttributor()
+    memory.start()
+    obs.tracer.observer = CompositeObserver(tracker, memory)
+    sampler = StackSampler(interval_s=0.002, tracker=tracker)
+    sampler.start()
+    return sampler, memory
+
+
+def _hammer(base_url: str, stop: threading.Event, errors: list) -> None:
+    """Scrape every endpoint in a tight loop until ``stop`` is set."""
+    cursor = 0
+    while not stop.is_set():
+        try:
+            for path in ("/metrics", "/health", f"/trace.jsonl?cursor={cursor}", "/"):
+                with urllib.request.urlopen(base_url + path, timeout=30) as resp:
+                    if path.startswith("/trace"):
+                        cursor = int(resp.headers["X-Trace-Cursor"])
+                    resp.read()
+        except Exception as exc:  # noqa: BLE001 - surfaced via the assert
+            errors.append(exc)
+            return
+
+
+class TestLiveTelemetryUnperturbed:
+    def test_server_sampler_and_memory_attached_bitwise_identical(self):
+        # The whole live plane at once — HTTP server, CPU sampler, memory
+        # attributor, per-worker /proc sampling on replies — with three
+        # scraper threads hammering every endpoint mid-run.  The output
+        # must still be the plain run's exact bytes.
+        plain = _run(2, None)
+        obs = ObsContext.create()
+        sampler, memory = _live_plane(obs)
+        stop = threading.Event()
+        errors: list = []
+        try:
+            with RenderExecutor(num_workers=2, obs=obs) as executor, TelemetryServer(
+                "127.0.0.1",
+                0,
+                tracer=obs.tracer,
+                metrics_fn=executor.collect_metrics,
+                health_fn=executor.health,
+                sampler=sampler,
+                memory=memory,
+            ) as server:
+                base = f"http://{server.address}"
+                scrapers = [
+                    threading.Thread(target=_hammer, args=(base, stop, errors))
+                    for _ in range(3)
+                ]
+                for thread in scrapers:
+                    thread.start()
+                traced = executor.submit(quick_job()).result(timeout=300)
+                stop.set()
+                for thread in scrapers:
+                    thread.join()
+        finally:
+            stop.set()
+            sampler.stop()
+            memory.stop()
+        assert not errors, errors
+        _assert_results_identical(plain, traced)
+
+    def test_scheduler_decision_log_identical_under_scraping(self):
+        spec = WorkloadSpec(
+            arrival="bursty", rate_rps=8, duration_s=3, num_clients=2, slo_ms=250, seed=0
+        )
+        plain = run_workload(spec, RequestScheduler(quick=True))
+        obs = ObsContext.create()
+        sampler, memory = _live_plane(obs)
+        stop = threading.Event()
+        errors: list = []
+        try:
+            scheduler = RequestScheduler(quick=True, obs=obs)
+            with TelemetryServer(
+                "127.0.0.1",
+                0,
+                tracer=obs.tracer,
+                metrics_fn=scheduler.live_metrics,
+                health_fn=scheduler.health,
+                sampler=sampler,
+                memory=memory,
+            ) as server:
+                scraper = threading.Thread(
+                    target=_hammer, args=(f"http://{server.address}", stop, errors)
+                )
+                scraper.start()
+                traced = run_workload(spec, scheduler)
+                stop.set()
+                scraper.join()
+        finally:
+            stop.set()
+            sampler.stop()
+            memory.stop()
+        assert not errors, errors
+        assert json.dumps(plain.log.events) == json.dumps(traced.log.events)
+        assert json.dumps(
+            plain.summary(include_events=True), sort_keys=True
+        ) == json.dumps(traced.summary(include_events=True), sort_keys=True)
 
 
 class TestSchedulerUnperturbed:
