@@ -44,6 +44,7 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 #: hardware = wall-clock, snapshotted with machine metadata, report-only.
 GUARDS: dict[str, str] = {
     "sched_slo": "virtual-clock",
+    "fleet_routing": "virtual-clock",
     "store_quality": "virtual-clock",
     "engine_speed": "hardware",
     "exec_residency": "hardware",

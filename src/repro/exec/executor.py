@@ -317,7 +317,14 @@ class RenderExecutor:
         resident_cache_size: int = DEFAULT_RESIDENT_CACHE_SIZE,
         obs: ObsContext | None = None,
         watchdog: Watchdog | None = None,
+        name: str | None = None,
     ) -> None:
+        #: Fleet identity of this executor (e.g. ``executor-0``).  When
+        #: set, trace lanes become ``<name>/worker-K`` and per-worker
+        #: metric series gain an ``executor`` label, so one shared obs
+        #: context can attribute spans and gauges across a whole fleet.
+        #: ``None`` (the default) keeps the historical unprefixed lanes.
+        self.name = name
         if num_workers is None:
             num_workers = usable_cpu_count()
         if num_workers < 0:
@@ -372,6 +379,23 @@ class RenderExecutor:
     def sequential(self) -> bool:
         """True when jobs render in-process (no worker pool)."""
         return self.num_workers <= 1
+
+    def _lane(self, base: str) -> str:
+        """Trace lane for ``base``: ``<name>/<base>`` on named executors.
+
+        An unnamed executor keeps the historical bare lanes
+        (``worker-K``, ``main``); a fleet member named ``executor-E``
+        yields ``executor-E/worker-K`` so one trace distinguishes lanes
+        across the whole fleet.
+        """
+        return f"{self.name}/{base}" if self.name else base
+
+    def _worker_label(self, worker_id: int) -> dict:
+        """Metric labels of one worker (plus ``executor`` when named)."""
+        label = {"worker": str(worker_id)}
+        if self.name:
+            label["executor"] = self.name
+        return label
 
     def submit(
         self,
@@ -476,6 +500,17 @@ class RenderExecutor:
                 registry.gauge("repro_cache_hit_ratio").set(hits / (hits + misses))
         return registry
 
+    def worker_metrics(self) -> list:
+        """Latest cumulative metrics snapshot of every live worker.
+
+        Fleet aggregation uses this to fold many executors sharing one
+        obs context into a single registry: the shared parent registry is
+        merged once by the caller, and these per-worker snapshots carry
+        the executor-local tallies without double-counting it.
+        """
+        with self._lock:
+            return list(self._worker_metrics.values())
+
     def health(self) -> dict:
         """Live health of the executor: per-worker states + queue depth.
 
@@ -534,7 +569,7 @@ class RenderExecutor:
                     "tasks_done": tasks_done,
                 }
             )
-        return {
+        report = {
             "mode": "sequential" if self.sequential else "pool",
             "num_workers": self.num_workers,
             "pending_tasks": pending,
@@ -542,6 +577,11 @@ class RenderExecutor:
             "states": summarize_states(workers),
             "workers_replaced": replaced,
         }
+        if self.name is not None:
+            # Only named (fleet) executors carry their identity; the
+            # historical single-executor health shape is unchanged.
+            report["executor"] = self.name
+        return report
 
     def __enter__(self) -> "RenderExecutor":
         return self
@@ -573,7 +613,7 @@ class RenderExecutor:
             with _maybe_span(
                 tracer,
                 "request",
-                lane="main",
+                lane=self._lane("main"),
                 attrs={**handle.trace_attrs, "scene": job.scene},
             ), _maybe_span(tracer, "job", attrs={"frames": job.num_frames}):
                 if scene is None:
@@ -887,7 +927,7 @@ class RenderExecutor:
         recv_ns = time.time_ns()
         spans, metrics_snapshot = obs_payload
         tracer = self._obs.tracer
-        lane = f"worker-{slot.worker_id}"
+        lane = self._lane(f"worker-{slot.worker_id}")
         task = slot.inflight
         attrs = {"worker": slot.worker_id}
         if task is not None:
@@ -910,7 +950,7 @@ class RenderExecutor:
         tracer.ingest(spans, parent=unit)
         # Mirror the heartbeat into per-worker gauges so exported metrics
         # carry liveness without any extra worker->parent traffic.
-        worker_label = {"worker": str(slot.worker_id)}
+        worker_label = self._worker_label(slot.worker_id)
         self._obs.metrics.gauge(HEARTBEAT_GAUGE, worker_label).set(recv_ns / 1e6)
         self._obs.metrics.counter(REPLIES_COUNTER, worker_label).inc()
         # Piggyback the resource plane on the same reply: a couple of
@@ -980,7 +1020,7 @@ class RenderExecutor:
                 # (its worker-side spans died with it; the parent-side
                 # window is all that remains).
                 tracer = self._obs.tracer
-                lane = f"worker-{slot.worker_id}"
+                lane = self._lane(f"worker-{slot.worker_id}")
                 now_ms = time.time_ns() / 1e6
                 tracer.instant(
                     "lane_closed",

@@ -1,0 +1,37 @@
+"""Multi-executor fleet: placement, autoscaling and tenant fairness.
+
+This package generalises the scheduler's control plane from one
+executor to N.  All of it runs on the *decision plane* — the same
+deterministic virtual clock as :mod:`repro.sched.scheduler` — so fleet
+placement, scale events and failure handling are pure functions of the
+workload seed and the :class:`FleetPolicy`, and decision logs replay
+byte-identically.
+
+* :mod:`repro.fleet.ring` — a seed- and process-stable consistent-hash
+  ring (sha256, virtual nodes) mapping ``(scene, lod, quant)`` residency
+  keys onto executors with bounded key movement on add/remove.
+* :mod:`repro.fleet.router` — :class:`FleetPolicy` (the knobs) and
+  :class:`FleetRouter` (cache-aware placement with a cost-model
+  tiebreak, plus ``random`` and ``least-loaded`` baselines).
+* :mod:`repro.fleet.autoscaler` — queue-depth / SLO-headroom scaling on
+  the virtual clock with an explicit cold-start cost.
+* :mod:`repro.fleet.usage` — per-tenant usage metering and the
+  weighted-fair queue ordering used by ``fair`` dispatch.
+"""
+
+from repro.fleet.autoscaler import Autoscaler, AutoscalePolicy
+from repro.fleet.ring import ConsistentHashRing
+from repro.fleet.router import ExecutorLane, FleetPolicy, FleetRouter, ROUTINGS
+from repro.fleet.usage import FairQueue, UsageMeter
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalePolicy",
+    "ConsistentHashRing",
+    "ExecutorLane",
+    "FairQueue",
+    "FleetPolicy",
+    "FleetRouter",
+    "ROUTINGS",
+    "UsageMeter",
+]

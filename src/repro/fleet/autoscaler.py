@@ -1,0 +1,116 @@
+"""Virtual-clock autoscaling of the executor fleet.
+
+The :class:`Autoscaler` is evaluated on periodic decision-plane tick
+events (every ``interval_ms`` of *virtual* time), so scale decisions are
+a pure function of the decision sequence — no wall-clock, no data-plane
+feedback — and replay byte-identically with the rest of the log.
+
+Scale-up triggers on pressure: queue depth per active executor above
+``queue_depth_per_executor``, or the modeled backlog drain time eroding
+SLO headroom (backlog > ``slo_headroom`` x the workload's SLO).  A new
+executor is *cold*: it accepts work only after ``coldstart_ms`` and
+starts with an empty warm set, so scaling is never modeled as free.
+
+Scale-down is drain-only: an executor must sit idle for
+``idle_evals`` consecutive evaluations before it is retired, and the
+fleet never shrinks below ``min_executors``.  At most one executor is
+added and one retired per tick — deliberate hysteresis against flapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Thresholds of the fleet autoscaler (virtual-clock units)."""
+
+    min_executors: int = 1
+    max_executors: int = 8
+    #: Evaluation period on the virtual clock.
+    interval_ms: float = 250.0
+    #: Scale up when waiting requests per active executor exceed this.
+    queue_depth_per_executor: float = 3.0
+    #: ...or when the modeled per-executor backlog drain time exceeds
+    #: this multiple of the workload SLO (headroom erosion).
+    slo_headroom: float = 1.0
+    #: Delay before a scaled-up executor accepts work (empty warm set).
+    coldstart_ms: float = 200.0
+    #: Consecutive idle evaluations before an executor is retired.
+    idle_evals: int = 3
+
+    def __post_init__(self) -> None:
+        if self.min_executors < 1:
+            raise ValueError("min_executors must be >= 1")
+        if self.max_executors < self.min_executors:
+            raise ValueError("max_executors must be >= min_executors")
+        if self.interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        if self.coldstart_ms < 0:
+            raise ValueError("coldstart_ms must be non-negative")
+        if self.idle_evals < 1:
+            raise ValueError("idle_evals must be >= 1")
+
+
+class Autoscaler:
+    """Grows/shrinks a :class:`~repro.fleet.router.FleetRouter`'s fleet."""
+
+    def __init__(self, policy: AutoscalePolicy) -> None:
+        self.policy = policy
+        #: Consecutive idle evaluations per executor id.
+        self._idle: dict[int, int] = {}
+
+    def evaluate(self, now, queue_depth, backlog_ms, slo_ms, router):
+        """One tick: apply scale decisions to ``router``, return actions.
+
+        ``backlog_ms`` is the modeled drain time of the waiting queue per
+        active executor.  Returns ``(action, executor_id, reason)``
+        tuples for the scheduler to log — the router is already updated.
+        """
+        actions = []
+        active = router.active()
+        # Restore the floor first (an executor failure may have dropped
+        # the fleet below it) — replacements pay the cold start too.
+        while len(active) < self.policy.min_executors:
+            lane = router.add_lane(now, coldstart_ms=self.policy.coldstart_ms)
+            actions.append(("scale_up", lane.executor_id, "below_min"))
+            active = router.active()
+        num_active = len(active)
+        if num_active < self.policy.max_executors:
+            pressure = queue_depth / max(1, num_active)
+            if pressure > self.policy.queue_depth_per_executor:
+                lane = router.add_lane(now, coldstart_ms=self.policy.coldstart_ms)
+                actions.append(("scale_up", lane.executor_id, "queue_depth"))
+            elif backlog_ms > self.policy.slo_headroom * slo_ms:
+                lane = router.add_lane(now, coldstart_ms=self.policy.coldstart_ms)
+                actions.append(("scale_up", lane.executor_id, "slo_headroom"))
+        # Idle bookkeeping over the pre-tick lanes (a just-added lane is
+        # cold-starting, not idle).
+        for lane in active:
+            idle = (
+                not lane.busy and lane.available_at <= now and queue_depth == 0
+            )
+            self._idle[lane.executor_id] = (
+                self._idle.get(lane.executor_id, 0) + 1 if idle else 0
+            )
+        for gone in [key for key in self._idle if key not in router.lanes]:
+            del self._idle[gone]
+        if len(router.active()) > self.policy.min_executors:
+            drainable = [
+                lane
+                for lane in active
+                if lane.executor_id in router.lanes
+                and self._idle.get(lane.executor_id, 0) >= self.policy.idle_evals
+            ]
+            if drainable:
+                # Retire the newest idle executor first: the oldest lanes
+                # hold the deepest warm sets, the cheapest ones to keep.
+                victim = max(drainable, key=lambda lane: lane.executor_id)
+                router.remove_lane(victim.executor_id)
+                self._idle.pop(victim.executor_id, None)
+                actions.append(("scale_down", victim.executor_id, "idle"))
+        return actions
+
+
+__all__ = ["Autoscaler", "AutoscalePolicy"]

@@ -1,0 +1,108 @@
+"""A deterministic consistent-hash ring for cache-affinity placement.
+
+The ring maps *residency keys* — the ``(scene, lod, quant)`` tuples the
+executor's worker caches key on — to executor ids, with two properties
+the fleet's decision plane depends on:
+
+* **Process/seed stability.**  Points come from sha256 over explicit
+  strings, never Python's salted ``hash()``, so two processes (or two
+  runs with different ``PYTHONHASHSEED``) build bit-identical rings and
+  a replayed decision log places every job on the same executor.
+* **Bounded movement.**  Each executor owns ``vnodes`` pseudo-random arc
+  segments.  Adding or removing one executor only reassigns the keys on
+  the arcs it gains or loses — about ``1/n`` of the key space — so a
+  scale event does not stampede every warm cache in the fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def stable_hash(text: str) -> int:
+    """A 64-bit integer hash of ``text``, identical across processes."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+def key_string(key) -> str:
+    """Canonical string form of a residency key (tuples joined on '/')."""
+    if isinstance(key, (tuple, list)):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes over integer executor ids."""
+
+    def __init__(self, executors=(), vnodes: int = 64) -> None:
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        #: Sorted vnode points and their parallel owner list.
+        self._points: list[int] = []
+        self._owners: list[int] = []
+        self._members: set[int] = set()
+        for executor_id in executors:
+            self.add(executor_id)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, executor_id: int) -> bool:
+        return executor_id in self._members
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """Current executor ids, sorted."""
+        return tuple(sorted(self._members))
+
+    def _vnode_points(self, executor_id: int) -> list[int]:
+        return [
+            stable_hash(f"executor-{executor_id}#vnode-{replica}")
+            for replica in range(self.vnodes)
+        ]
+
+    def add(self, executor_id: int) -> None:
+        """Insert ``executor_id``'s virtual nodes (idempotent)."""
+        if executor_id in self._members:
+            return
+        self._members.add(executor_id)
+        for point in self._vnode_points(executor_id):
+            index = bisect.bisect_left(self._points, point)
+            # sha256 collisions between distinct vnode labels are not a
+            # practical concern; ties resolve to the lower executor id so
+            # even a collision would stay deterministic.
+            if index < len(self._points) and self._points[index] == point:
+                if executor_id < self._owners[index]:
+                    self._owners[index] = executor_id
+                continue
+            self._points.insert(index, point)
+            self._owners.insert(index, executor_id)
+
+    def remove(self, executor_id: int) -> None:
+        """Drop ``executor_id``'s virtual nodes (idempotent)."""
+        if executor_id not in self._members:
+            return
+        self._members.discard(executor_id)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != executor_id
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def lookup(self, key) -> int:
+        """The executor owning ``key``: first vnode clockwise of its hash."""
+        if not self._points:
+            raise LookupError("consistent-hash ring is empty")
+        point = stable_hash(key_string(key))
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap past the highest point to the ring start
+        return self._owners[index]
+
+
+__all__ = ["ConsistentHashRing", "key_string", "stable_hash"]

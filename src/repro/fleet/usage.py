@@ -1,0 +1,116 @@
+"""Per-tenant usage metering and weighted-fair dispatch ordering.
+
+Both halves run on the decision plane.  The :class:`UsageMeter` tallies
+what each tenant *modeled-consumed* — frames rendered, cold-dispatch
+ship bytes, worker-seconds — which is what quota enforcement and the
+CLI's usage table read.  The :class:`FairQueue` keeps the per-tenant
+virtual-time tags of weighted-fair queueing: each tenant's tag advances
+by ``service / weight`` when it is served, and dispatch picks the
+queued tenant with the smallest tag, so a weight-2 tenant drains twice
+the work of a weight-1 tenant under contention while an idle tenant
+cannot bank credit (its tag is floored to the active minimum when it
+returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TenantUsage:
+    """Cumulative modeled consumption of one tenant."""
+
+    requests: int = 0
+    frames: int = 0
+    ship_bytes: int = 0
+    worker_ms: float = 0.0
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "frames": self.frames,
+            "ship_bytes": self.ship_bytes,
+            "worker_seconds": round(self.worker_ms / 1000.0, 6),
+        }
+
+
+@dataclass
+class UsageMeter:
+    """Per-tenant :class:`TenantUsage` tallies plus fleet-wide totals."""
+
+    tenants: dict = field(default_factory=dict)
+    total_worker_ms: float = 0.0
+    total_ship_bytes: int = 0
+
+    def tenant(self, client_id: int) -> TenantUsage:
+        usage = self.tenants.get(client_id)
+        if usage is None:
+            usage = self.tenants[client_id] = TenantUsage()
+        return usage
+
+    def record_dispatch(
+        self, client_id: int, worker_ms: float, ship_bytes: int
+    ) -> None:
+        usage = self.tenant(client_id)
+        usage.requests += 1
+        usage.worker_ms += worker_ms
+        usage.ship_bytes += ship_bytes
+        self.total_worker_ms += worker_ms
+        self.total_ship_bytes += ship_bytes
+
+    def record_frames(self, client_id: int, frames: int) -> None:
+        self.tenant(client_id).frames += frames
+
+    def over_quota(self, client_id: int, worker_ms: float, quota: float) -> bool:
+        """Would serving ``worker_ms`` push the tenant past its share?
+
+        The share is measured against *consumed* fleet worker-time
+        including the candidate job, so the first jobs of a run are never
+        quota-shed (a lone tenant's share of its own consumption is 1.0
+        only when it is the only consumer — quota 1.0 admits it).
+        """
+        if self.total_worker_ms <= 0.0:
+            return False
+        projected = self.tenant(client_id).worker_ms + worker_ms
+        return projected > quota * (self.total_worker_ms + worker_ms)
+
+    def summary(self) -> dict:
+        return {
+            str(client_id): usage.summary()
+            for client_id, usage in sorted(self.tenants.items())
+        }
+
+
+class FairQueue:
+    """Virtual-time tags of per-tenant weighted-fair queueing."""
+
+    def __init__(self, weights: dict | None = None) -> None:
+        self._weights = dict(weights or {})
+        self._vtime: dict[int, float] = {}
+
+    def weight(self, client_id: int) -> float:
+        weight = float(self._weights.get(client_id, 1.0))
+        return weight if weight > 0 else 1.0
+
+    def tag(self, client_id: int) -> float:
+        """Current virtual finish tag (dispatch picks the smallest)."""
+        return self._vtime.get(client_id, 0.0)
+
+    def activate(self, client_id: int, floor: float) -> None:
+        """Admit a tenant's request: floor its tag to the active minimum.
+
+        Without the floor a long-idle tenant would return with a stale
+        (small) tag and starve everyone until it caught up — the classic
+        WFQ re-activation rule.
+        """
+        self._vtime[client_id] = max(self._vtime.get(client_id, 0.0), floor)
+
+    def charge(self, client_id: int, service_ms: float) -> None:
+        """Advance the tenant's tag by its weighted service."""
+        self._vtime[client_id] = (
+            self._vtime.get(client_id, 0.0) + service_ms / self.weight(client_id)
+        )
+
+
+__all__ = ["FairQueue", "TenantUsage", "UsageMeter"]

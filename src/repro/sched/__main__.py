@@ -8,13 +8,19 @@ scheduler, printing a goodput / SLO-attainment / tier-histogram report::
         --lod 0 --quant lossless --json
     python -m repro.sched --rate 6 --duration 2 --clients 2 --quick \
         --execute --workers 0 --json
+    python -m repro.sched --arrival bursty --rate 16 --executors 4 \
+        --routing affinity --autoscale --fair --json
 
 By default only the decision plane runs (the deterministic virtual clock —
 fast, machine-independent, replayable); ``--execute`` additionally renders
 every dispatched job for real through the render farm at the tier the
 controller chose.  ``--policy adaptive`` (default) walks the quality ladder
 under the SLO controller; ``--policy fixed`` pins serving to the single
-``--lod``/``--quant`` tier.
+``--lod``/``--quant`` tier.  ``--executors N`` serves over a fleet with
+cache-aware routing (``--routing``), optional ``--autoscale``, per-tenant
+``--fair`` dispatch with ``--tenant-quota``, and ``--fail-executor``
+failure injection; fleet reports add placement and per-tenant usage
+tables.
 
 The same entry point is installed as the ``repro-sched`` console script.
 Exit status 0 on success; 3 when ``--alerts`` rules are firing at the end
@@ -56,9 +62,57 @@ from repro.sched.scheduler import (
     SchedulerPolicy,
     run_workload,
 )
+from repro.fleet import AutoscalePolicy, FleetPolicy, ROUTINGS
 from repro.sched.workload import ARRIVAL_KINDS, WorkloadSpec
 from repro.serve.farm import DATAFLOWS
 from repro.store.codec import QUANT_SPECS
+
+
+def _parse_failures(specs: list[str] | None, parser) -> tuple:
+    """``T_MS:ID`` strings into the policy's ``(t_ms, executor_id)`` tuples."""
+    failures = []
+    for text in specs or ():
+        try:
+            t_ms, executor_id = text.split(":", 1)
+            failures.append((float(t_ms), int(executor_id)))
+        except ValueError:
+            parser.error(f"--fail-executor expects T_MS:ID, got {text!r}")
+    return tuple(failures)
+
+
+def build_fleet_policy(args, parser) -> FleetPolicy | None:
+    """The :class:`FleetPolicy` the parsed arguments describe (or ``None``)."""
+    if args.executors is None:
+        for flag, present in (
+            ("--routing", args.routing != "affinity"),
+            ("--autoscale", args.autoscale),
+            ("--fair", args.fair),
+            ("--tenant-quota", args.tenant_quota is not None),
+            ("--fail-executor", bool(args.fail_executor)),
+        ):
+            if present:
+                parser.error(f"{flag} requires --executors")
+        return None
+    if args.tenant_quota is not None and not args.fair:
+        parser.error("--tenant-quota requires --fair")
+    if args.tenant_quota is not None and args.tenant_quota > 1.0:
+        parser.error("--tenant-quota must be in (0, 1]")
+    autoscale = None
+    if args.autoscale:
+        if args.autoscale_max < args.executors:
+            parser.error("--autoscale-max must be >= --executors")
+        autoscale = AutoscalePolicy(
+            min_executors=args.executors, max_executors=args.autoscale_max
+        )
+    return FleetPolicy(
+        num_executors=args.executors,
+        routing=args.routing,
+        autoscale=autoscale,
+        fair=args.fair,
+        tenant_quota=args.tenant_quota,
+        failures=_parse_failures(args.fail_executor, parser),
+        seed=args.seed,
+    )
 
 
 def _positive_float(text: str) -> float:
@@ -247,6 +301,73 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="really render every dispatched job through the farm",
     )
+    fleet = parser.add_argument_group("fleet")
+    fleet.add_argument(
+        "--executors",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "serve over a fleet of N executors with cache-aware routing "
+            "(default: the historical single-executor scheduler; with "
+            "--execute each fleet member gets its own named render "
+            "executor)"
+        ),
+    )
+    fleet.add_argument(
+        "--routing",
+        default="affinity",
+        choices=ROUTINGS,
+        help=(
+            "fleet placement policy: consistent-hash cache affinity with a "
+            "cost-model tiebreak (default), seeded random, or least-loaded "
+            "(requires --executors)"
+        ),
+    )
+    fleet.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "grow/shrink the fleet against queue depth and SLO headroom on "
+            "the virtual clock (cold starts cost time; requires --executors)"
+        ),
+    )
+    fleet.add_argument(
+        "--autoscale-max",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="most executors --autoscale may grow to",
+    )
+    fleet.add_argument(
+        "--fair",
+        action="store_true",
+        help=(
+            "weighted-fair per-tenant dispatch ordering instead of pure "
+            "priority/EDF (requires --executors)"
+        ),
+    )
+    fleet.add_argument(
+        "--tenant-quota",
+        type=_positive_float,
+        default=None,
+        metavar="SHARE",
+        help=(
+            "shed a tenant's requests beyond this share (0, 1] of consumed "
+            "fleet worker-time (requires --fair)"
+        ),
+    )
+    fleet.add_argument(
+        "--fail-executor",
+        action="append",
+        default=None,
+        metavar="T_MS:ID",
+        help=(
+            "inject an executor failure at virtual time T_MS: the in-flight "
+            "request requeues onto survivors and the executor's warm state "
+            "is lost (repeatable; requires --executors)"
+        ),
+    )
     output = parser.add_argument_group("output")
     output.add_argument(
         "--json",
@@ -355,6 +476,23 @@ def format_report(report: ScheduleReport) -> str:
         f"{summary['dispatch']['warm']} warm (first touch of a tier ships+decodes; "
         f"warm dispatches reuse resident scenes)",
     ]
+    fleet = summary.get("fleet")
+    if fleet is not None:
+        lines.append(
+            f"  fleet: routing={fleet['routing']}   "
+            f"executors {fleet['executors_initial']} -> {fleet['executors_final']} "
+            f"(peak {fleet['executors_peak']})   "
+            f"scale +{fleet['scale_ups']}/-{fleet['scale_downs']}   "
+            f"failures {fleet['failures']} ({fleet['requeues']} requeued)   "
+            f"modeled ship {fleet['ship_bytes']} B"
+        )
+        if fleet["placements"]:
+            lines.append(
+                "  placements: "
+                + "   ".join(
+                    f"{name}={count}" for name, count in fleet["placements"].items()
+                )
+            )
     if summary["executed"]:
         measured = summary["measured"]
         lines.append(
@@ -378,6 +516,25 @@ def format_report(report: ScheduleReport) -> str:
             title="Tier histogram",
         ),
     ]
+    tenants = summary.get("tenant_usage")
+    if tenants:
+        lines += [
+            "",
+            format_table(
+                ["tenant", "requests", "frames", "ship bytes", "worker-s"],
+                [
+                    (
+                        f"client-{tenant}",
+                        usage["requests"],
+                        usage["frames"],
+                        usage["ship_bytes"],
+                        f"{usage['worker_seconds']:.3f}",
+                    )
+                    for tenant, usage in tenants.items()
+                ],
+                title="Tenant usage",
+            ),
+        ]
     return "\n".join(lines)
 
 
@@ -438,6 +595,7 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         execute=args.execute,
         obs=obs,
+        fleet=build_fleet_policy(args, parser),
     ) as scheduler:
         server = None
         try:

@@ -66,6 +66,7 @@ import numpy as np
 
 from repro.eval.scenes import eval_preset
 from repro.exec.executor import RenderExecutor
+from repro.fleet import Autoscaler, FairQueue, FleetPolicy, FleetRouter, UsageMeter
 from repro.gaussians.synthetic import scaled_image_size, scene_spec
 from repro.obs import VIRTUAL, MetricsRegistry, ObsContext
 from repro.render.common import BACKENDS
@@ -229,10 +230,20 @@ class ServiceModel:
         """
         if warm:
             return self.dispatch_warm_ms
-        lod, quant = tier[0], tier[1]
-        gaussians = self.num_gaussians(request.scene, quick, lod)
-        ship_mb = quant_spec(quant).bytes_per_gaussian() * gaussians / 1e6
+        ship_mb = self.ship_bytes(request.scene, quick, tier) / 1e6
         return self.dispatch_cold_ms + self.ship_ms_per_mb * ship_mb
+
+    def ship_bytes(self, scene: str, quick: bool, tier: Tier) -> float:
+        """Encoded payload bytes a *cold* dispatch of ``tier`` ships.
+
+        This is the quantity cache-aware fleet routing minimises (and the
+        per-tenant usage meter tallies): every first touch of a
+        ``(scene, lod, quant)`` tier on an executor ships the tier's
+        encoded scene; warm dispatches ship nothing.
+        """
+        lod, quant = tier[0], tier[1]
+        gaussians = self.num_gaussians(scene, quick, lod)
+        return quant_spec(quant).bytes_per_gaussian() * gaussians
 
     def job_ms(
         self,
@@ -365,6 +376,13 @@ class ScheduleReport:
     #: queue-wait/service/e2e histograms).  ``None`` only for reports
     #: constructed by hand without a run.
     metrics: MetricsRegistry | None = None
+    #: Fleet-mode accounting (placements, scale/failure/requeue counts,
+    #: modeled ship bytes).  ``None`` on single-executor runs — the
+    #: summary only grows fleet keys when a fleet actually ran, so the
+    #: historical payload shape is byte-identically preserved.
+    fleet: dict | None = None
+    #: Per-tenant usage metering (fleet mode only; ``None`` otherwise).
+    tenant_usage: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -495,6 +513,12 @@ class ScheduleReport:
                 else None
             ),
         }
+        if self.fleet is not None:
+            # Fleet keys appear only when a fleet ran: default
+            # single-executor summaries (and their committed BENCH_*.json
+            # baselines) keep the historical key set byte-for-byte.
+            payload["fleet"] = dict(self.fleet)
+            payload["tenant_usage"] = self.tenant_usage
         if include_events:
             payload["events"] = list(self.log.events)
         return payload
@@ -534,6 +558,16 @@ class RequestScheduler:
         *owned* (default-built) executor down in :meth:`close`; a shared
         one is left to its owner.
 
+    fleet:
+        Optional :class:`~repro.fleet.FleetPolicy` generalising the
+        control plane to N executors: cache-aware (or random /
+        least-loaded) placement over per-executor warm state, optional
+        autoscaling, weighted-fair tenant dispatch with quotas, and
+        injected executor failures.  ``None`` (the default) runs the
+        historical single-executor scheduler bitwise-identically; with a
+        fleet, ``execute=True`` builds one named data-plane executor per
+        fleet lane instead of a single shared one.
+
     Dispatched jobs are **submitted, not awaited**: the virtual-clock loop
     keeps scheduling while the executor overlaps jobs across its worker
     slots, and the measured results are drained after the loop.  Decisions
@@ -550,8 +584,24 @@ class RequestScheduler:
         farm: RenderFarm | None = None,
         executor: RenderExecutor | None = None,
         obs: ObsContext | None = None,
+        fleet: FleetPolicy | None = None,
     ) -> None:
         self.policy = policy or SchedulerPolicy()
+        #: Fleet shape/placement policy; ``None`` (the default) keeps the
+        #: historical single-executor scheduler bitwise-identical.
+        self.fleet_policy = fleet
+        if fleet is not None and executor is not None:
+            raise ValueError(
+                "fleet mode builds one data-plane executor per fleet member; "
+                "a shared single executor cannot be routed over"
+            )
+        #: Data-plane executors by fleet lane id (fleet + execute only);
+        #: kept across runs — same warm-pool point as the single executor.
+        self._data_executors: dict[int, RenderExecutor] = {}
+        #: Fleet lane ids whose real executor was failure-injected down.
+        self._killed_executors: set[int] = set()
+        #: The latest run's router (fleet introspection/tests).
+        self._router: FleetRouter | None = None
         #: Optional observability context: decision events are teed into
         #: the tracer as virtual-clock instants, completed requests become
         #: virtual request/queue_wait/service spans per client lane, and an
@@ -571,7 +621,7 @@ class RequestScheduler:
         self.quick = quick
         self.execute = execute
         self._owns_executor = False
-        if execute and executor is None:
+        if execute and executor is None and fleet is None:
             executor = RenderExecutor(
                 num_workers=farm.num_workers if farm is not None else self.policy.num_workers,
                 mp_context=farm.mp_context if farm is not None else None,
@@ -586,32 +636,75 @@ class RequestScheduler:
         self._run_metrics: MetricsRegistry | None = None
 
     def close(self) -> None:
-        """Shut down an executor this scheduler built for itself."""
+        """Shut down executors this scheduler built for itself."""
         if self._owns_executor and self.executor is not None:
             self.executor.shutdown(wait=True)
+        for lane_id, data_executor in sorted(self._data_executors.items()):
+            if lane_id not in self._killed_executors:
+                data_executor.shutdown(wait=True)
 
     def health(self) -> dict | None:
         """Live health of the data plane (None on virtual-only runs).
 
-        Delegates to :meth:`RenderExecutor.health` — worker states from
-        the report-only watchdog plus queue depth.  Call before
-        :meth:`close` (the pool's slots empty at shutdown).
+        Single-executor mode delegates to :meth:`RenderExecutor.health`
+        — worker states from the report-only watchdog plus queue depth —
+        unchanged.  Fleet mode aggregates *every* data-plane executor:
+        summed pending tasks, worker states and replacements across the
+        fleet, plus each member's full per-executor report under its
+        ``executor-N`` name, so the telemetry server reports the whole
+        fleet rather than assuming exactly one data plane.  Call before
+        :meth:`close` (the pools' slots empty at shutdown).
         """
-        return None if self.executor is None else self.executor.health()
+        if self.fleet_policy is None:
+            return None if self.executor is None else self.executor.health()
+        if not self._data_executors:
+            return None
+        members = {
+            f"executor-{lane_id}": data_executor.health()
+            for lane_id, data_executor in sorted(self._data_executors.items())
+        }
+        states: dict[str, int] = {}
+        for report in members.values():
+            for state, count in report["states"].items():
+                states[state] = states.get(state, 0) + count
+        return {
+            "mode": "fleet",
+            "num_executors": len(members),
+            "pending_tasks": sum(r["pending_tasks"] for r in members.values()),
+            "states": states,
+            "workers_replaced": sum(
+                r["workers_replaced"] for r in members.values()
+            ),
+            "executors": members,
+        }
 
     def live_metrics(self) -> MetricsRegistry:
         """One merged registry of everything this scheduler can see *now*.
 
-        Combines the executor's live merge (parent registry + latest
-        per-worker snapshots + derived ratios), the obs context's own
-        registry on executor-less runs, and the active run's decision-
-        plane counters.  Built fresh per call into a throwaway registry —
-        a pure read, safe to call from the telemetry server's scrape
-        threads mid-run.
+        Combines every data-plane executor's live merge (parent registry
+        + latest per-worker snapshots + derived ratios) — all fleet
+        members, not just one — the obs context's own registry on
+        executor-less runs, and the active run's decision-plane counters.
+        Built fresh per call into a throwaway registry — a pure read,
+        safe to call from the telemetry server's scrape threads mid-run.
         """
         registry = MetricsRegistry()
         if self.executor is not None:
             registry.merge(self.executor.collect_metrics().snapshot())
+        elif self._data_executors:
+            # All fleet members share one obs registry: merge it once,
+            # then fold in each member's per-worker snapshots (their
+            # series are disjoint — worker labels carry the executor
+            # name) so nothing double-counts.
+            if self._obs is not None:
+                registry.merge(self._obs.metrics.snapshot())
+            for _, data_executor in sorted(self._data_executors.items()):
+                for snapshot in data_executor.worker_metrics():
+                    registry.merge(snapshot)
+            hits = registry.value("repro_scene_cache_hits_total") or 0
+            misses = registry.value("repro_scene_cache_misses_total") or 0
+            if hits + misses:
+                registry.gauge("repro_cache_hit_ratio").set(hits / (hits + misses))
         elif self._obs is not None:
             registry.merge(self._obs.metrics.snapshot())
         run_metrics = self._run_metrics
@@ -670,7 +763,42 @@ class RequestScheduler:
         # Warm/cold state of the virtual clock: the (scene, lod, quant)
         # tiers dispatched at least once since this run started.  Purely a
         # function of the decision sequence, so replayability is preserved.
+        # (In fleet mode this stays the *union* across executors — the
+        # optimistic admission view — while each lane keeps its own
+        # first-touch set for placement and service costing.)
         self._touched = set()
+
+        # Fleet mode: a fresh router per run (same reset discipline as the
+        # QoS controller, so a reused scheduler replays identically), plus
+        # the autoscaler, fairness and metering state that ride on it.
+        fleet_policy = self.fleet_policy
+        router: FleetRouter | None = None
+        autoscaler: Autoscaler | None = None
+        fair: FairQueue | None = None
+        usage: UsageMeter | None = None
+        if fleet_policy is not None:
+            router = FleetRouter(fleet_policy)
+            self._router = router
+            if fleet_policy.autoscale is not None:
+                autoscaler = Autoscaler(fleet_policy.autoscale)
+            if fleet_policy.fair:
+                fair = FairQueue(fleet_policy.tenant_weights)
+            usage = UsageMeter()
+        #: WFQ system virtual time: the served tenant's tag at the last
+        #: fair dispatch; re-activating tenants are floored to it.
+        fair_floor = 0.0
+        #: Monotonic dispatch ids; an executor failure voids the id its
+        #: in-flight request was dispatched under, which cancels the
+        #: already-heaped completion event (heap entries can't be removed).
+        dispatch_seq = 0
+        voided: set[int] = set()
+        fleet_stats = {
+            "placements": {},
+            "scale_ups": 0,
+            "scale_downs": 0,
+            "failures": 0,
+            "requeues": 0,
+        }
 
         # Event heap: (time, sequence, kind, payload).  Sequence breaks
         # ties deterministically: arrivals are pre-pushed with the lowest
@@ -682,6 +810,22 @@ class RequestScheduler:
         for request in requests:
             heapq.heappush(events, (request.arrival_ms, seq, "arrive", request))
             seq += 1
+        arrivals_remaining = len(requests)
+        if fleet_policy is not None:
+            # Injected executor failures and the first autoscaler tick are
+            # pre-seeded virtual-clock events like the arrivals — pure
+            # functions of the configuration, replayable by construction.
+            for fail_ms, fail_executor in fleet_policy.failures:
+                heapq.heappush(
+                    events, (float(fail_ms), seq, "fail", int(fail_executor))
+                )
+                seq += 1
+            if autoscaler is not None:
+                heapq.heappush(
+                    events,
+                    (fleet_policy.autoscale.interval_ms, seq, "autoscale", None),
+                )
+                seq += 1
 
         # Waiting queue: (priority, absolute deadline, sequence, request) —
         # strict priority classes, EDF within a class.
@@ -712,8 +856,220 @@ class RequestScheduler:
                 or (priority == request.priority and deadline <= request.deadline_ms)
             )
 
+        def service_order() -> list[int]:
+            """Queue indices in the order the fleet would serve them.
+
+            Without fairness this is the heap's own (priority, deadline,
+            sequence) order — index 0 first, exactly the entry the legacy
+            loop would pop.  Weighted-fair mode puts the tenant with the
+            smallest WFQ virtual tag first, EDF within a tenant.
+            """
+            if fair is not None:
+                return sorted(
+                    range(len(queue)),
+                    key=lambda i: (
+                        fair.tag(queue[i][3].client_id),
+                        queue[i][0],
+                        queue[i][1],
+                        queue[i][2],
+                    ),
+                )
+            return sorted(
+                range(len(queue)),
+                key=lambda i: (queue[i][0], queue[i][1], queue[i][2]),
+            )
+
+        def remove_queue_entry(pos: int) -> None:
+            """Remove the queue entry at ``pos`` keeping the heap valid.
+
+            The head (the common case — and the *only* case on a one-
+            executor, non-fair fleet) pops exactly like the legacy loop;
+            a mid-heap removal swaps the tail in and re-heapifies.
+            """
+            if pos == 0:
+                heapq.heappop(queue)
+            else:
+                queue[pos] = queue[-1]
+                queue.pop()
+                heapq.heapify(queue)
+
+        def shed_queued(now: float, pos: int, reason: str, **extra) -> None:
+            """Shed the queued request at ``pos`` (hopeless or over quota)."""
+            request = queue[pos][3]
+            remove_queue_entry(pos)
+            outcome = outcomes[request.request_id]
+            outcome.status = "shed"
+            outcome.queue_wait_ms = now - request.arrival_ms
+            log.emit(
+                now,
+                "shed",
+                request=request.request_id,
+                client=request.client_id,
+                reason=reason,
+                queue_wait_ms=round(outcome.queue_wait_ms, 3),
+                **extra,
+            )
+            run_metrics.counter(
+                "repro_sched_requests_total", {"status": "shed"}
+            ).inc()
+
+        def serve_on_lane(
+            now: float, pos: int, lane, tier, shards: int, demoted_from
+        ) -> None:
+            """Dispatch the queued request at ``pos`` onto ``lane``.
+
+            The fleet twin of :meth:`_serve_or_shed`'s serve half: the
+            same event shape and accounting, plus the ``executor`` field,
+            per-lane warmth (service is costed against *this* executor's
+            first-touch set, not the fleet union) and tenant metering.
+            """
+            nonlocal seq, dispatch_seq, fair_floor
+            request = queue[pos][3]
+            remove_queue_entry(pos)
+            key = (request.scene, self._scene_tier(tier))
+            warm = key in lane.touched
+            service_ms = self._job_cost(request, tier, shards, warm=warm)
+            wait_ms = now - request.arrival_ms
+            outcome = outcomes[request.request_id]
+            entry = {
+                "request": request.request_id,
+                "client": request.client_id,
+                "scene": request.scene,
+                "tier": tier_name(tier),
+                "warm": warm,
+                "queue_wait_ms": round(wait_ms, 3),
+                "service_ms": round(service_ms, 3),
+            }
+            if shards > 1:
+                entry["shards"] = shards
+            if demoted_from is not None:
+                entry["demoted_from"] = tier_name(demoted_from)
+            entry["executor"] = lane.name
+            log.emit(now, "dispatch", **entry)
+            run_metrics.counter(
+                "repro_sched_dispatch_total", {"warmth": "warm" if warm else "cold"}
+            ).inc()
+            run_metrics.counter(
+                "repro_sched_fleet_dispatch_total", {"executor": lane.name}
+            ).inc()
+            self._touched.add(key)
+            lane.touched.add(key)
+            outcome.tier = tier
+            outcome.shards = shards
+            outcome.queue_wait_ms = wait_ms
+            outcome.service_ms = service_ms
+            ship_bytes = (
+                0 if warm else int(round(self.model.ship_bytes(request.scene, self.quick, tier)))
+            )
+            usage.record_dispatch(
+                request.client_id,
+                service_ms * self.policy.model_workers,
+                ship_bytes,
+            )
+            if fair is not None:
+                fair_floor = fair.tag(request.client_id)
+                fair.charge(request.client_id, service_ms)
+            fleet_stats["placements"][lane.name] = (
+                fleet_stats["placements"].get(lane.name, 0) + 1
+            )
+            lane.busy = True
+            lane.busy_until = now + service_ms
+            lane.jobs += 1
+            lane.worker_ms += service_ms
+            lane.inflight = request
+            lane.dispatch_id = dispatch_seq
+            heapq.heappush(
+                events,
+                (lane.busy_until, seq, "complete", (request, dispatch_seq, lane)),
+            )
+            seq += 1
+            dispatch_seq += 1
+            if self.execute:
+                self._execute(
+                    request,
+                    tier,
+                    shards,
+                    outcome,
+                    measured_frame_ms,
+                    pending_handles,
+                    executor_id=lane.executor_id,
+                )
+
+        def fleet_dispatch(now: float) -> None:
+            """One placement pass: match free lanes against the queue.
+
+            Walks the queue in service order and, per entry: late-sheds
+            the hopeless, quota-sheds over-budget tenants, then asks the
+            router for a lane.  A ``None`` placement is a *deferral* —
+            affinity judged waiting for the warm preferred executor
+            cheaper than dispatching cold now — and the scan moves on, so
+            a later request may still take the free lane.  Every action
+            restarts the pass (the queue and lane set changed); a full
+            scan with no action ends dispatch until the next event.
+            """
+            while queue:
+                if not router.free_lanes(now):
+                    return
+                acted = False
+                for pos in service_order():
+                    request = queue[pos][3]
+                    tier, shards, demoted_from = self._dispatch_tier(request, now)
+                    plan_ms = self._job_cost(request, tier, shards)
+                    slack_ms = request.deadline_ms - now
+                    if self.qos.policy.adaptive and plan_ms > slack_ms:
+                        shed_queued(
+                            now,
+                            pos,
+                            "deadline_expired_in_queue",
+                            cheapest_service_ms=round(plan_ms, 3),
+                            slo_ms=request.slo_ms,
+                        )
+                        acted = True
+                        break
+                    if fleet_policy.tenant_quota is not None and usage.over_quota(
+                        request.client_id,
+                        plan_ms * self.policy.model_workers,
+                        fleet_policy.tenant_quota,
+                    ):
+                        shed_queued(
+                            now,
+                            pos,
+                            "quota_exceeded",
+                            quota=fleet_policy.tenant_quota,
+                            slo_ms=request.slo_ms,
+                        )
+                        acted = True
+                        break
+                    key = (request.scene, self._scene_tier(tier))
+                    lane = router.place(
+                        key,
+                        request,
+                        now,
+                        slack_ms,
+                        cost=lambda l, _k=key, _r=request, _t=tier, _s=shards: (
+                            self.model.job_ms(
+                                _r,
+                                _t,
+                                self.policy.model_workers,
+                                self.quick,
+                                warm=_k in l.touched,
+                                shards=_s,
+                            )
+                        ),
+                    )
+                    if lane is None:
+                        continue
+                    serve_on_lane(now, pos, lane, tier, shards, demoted_from)
+                    acted = True
+                    break
+                if not acted:
+                    return
+
         def dispatch(now: float) -> None:
             nonlocal busy, seq, running_until
+            if router is not None:
+                fleet_dispatch(now)
+                return
             while not busy and queue:
                 _, _, _, request = heapq.heappop(queue)
                 if self._serve_or_shed(
@@ -724,10 +1080,100 @@ class RequestScheduler:
                     heapq.heappush(events, (running_until, seq, "complete", request))
                     seq += 1
 
+        def complete_request(now: float, request: Request, fleet_lane=None) -> None:
+            """Shared completion bookkeeping of both planes' loops.
+
+            Identical to the historical single-executor sequence; a fleet
+            completion additionally stamps the serving executor on the
+            event, meters the tenant's frames, and records a virtual
+            service span on the executor's decision-plane lane.
+            """
+            outcome = outcomes[request.request_id]
+            outcome.status = "completed"
+            outcome.e2e_ms = now - request.arrival_ms
+            outcome.slo_met = outcome.e2e_ms <= request.slo_ms
+            fields = {
+                "request": request.request_id,
+                "client": request.client_id,
+                "tier": tier_name(outcome.tier),
+                "e2e_ms": round(outcome.e2e_ms, 3),
+                "slo_met": outcome.slo_met,
+            }
+            if fleet_lane is not None:
+                fields["executor"] = fleet_lane.name
+            log.emit(now, "complete", **fields)
+            run_metrics.counter(
+                "repro_sched_requests_total", {"status": "completed"}
+            ).inc()
+            run_metrics.counter(
+                "repro_sched_tier_served_total", {"tier": tier_name(outcome.tier)}
+            ).inc()
+            run_metrics.histogram("repro_sched_queue_wait_ms").observe(
+                outcome.queue_wait_ms
+            )
+            run_metrics.histogram("repro_sched_service_ms").observe(
+                outcome.service_ms
+            )
+            run_metrics.histogram("repro_sched_e2e_ms").observe(outcome.e2e_ms)
+            if fleet_lane is not None:
+                usage.record_frames(request.client_id, request.num_frames)
+            if tracer is not None:
+                # Virtual-clock span chain per client lane, recorded
+                # *from* already-decided quantities at completion time.
+                lane = f"client-{request.client_id}"
+                span_id = tracer.record(
+                    "request",
+                    lane=lane,
+                    clock=VIRTUAL,
+                    t0_ms=request.arrival_ms,
+                    dur_ms=outcome.e2e_ms,
+                    attrs={
+                        "request": request.request_id,
+                        "scene": request.scene,
+                        "tier": tier_name(outcome.tier),
+                        "slo_met": outcome.slo_met,
+                    },
+                )
+                tracer.record(
+                    "queue_wait",
+                    lane=lane,
+                    clock=VIRTUAL,
+                    t0_ms=request.arrival_ms,
+                    dur_ms=outcome.queue_wait_ms,
+                    parent=span_id,
+                )
+                tracer.record(
+                    "service",
+                    lane=lane,
+                    clock=VIRTUAL,
+                    t0_ms=request.arrival_ms + outcome.queue_wait_ms,
+                    dur_ms=outcome.service_ms,
+                    parent=span_id,
+                )
+                if fleet_lane is not None:
+                    # Mirror the service window onto the executor's own
+                    # virtual lane — the fleet-placement view of the trace
+                    # (`repro-obs` reconciles the routing headline off it).
+                    tracer.record(
+                        "service",
+                        lane=fleet_lane.name,
+                        clock=VIRTUAL,
+                        t0_ms=now - outcome.service_ms,
+                        dur_ms=outcome.service_ms,
+                        attrs={
+                            "request": request.request_id,
+                            "scene": request.scene,
+                            "tier": tier_name(outcome.tier),
+                        },
+                    )
+            self.qos.observe(now, outcome.e2e_ms, request.slo_ms)
+            dispatch(now)
+
         while events:
             now, _, kind, payload = heapq.heappop(events)
-            request = payload  # both event kinds carry the request
             if kind == "arrive":
+                request = payload
+                arrivals_remaining -= 1
                 outcome = RequestOutcome(request=request, status="rejected")
                 outcomes[request.request_id] = outcome
                 if len(queue) >= self.policy.max_queue:
@@ -747,8 +1193,22 @@ class RequestScheduler:
                 # Feasibility projects the cheapest rung at its best shard
                 # count — with max_shards=1 exactly the unsharded cost.
                 _, cheapest_ms = self._best_shards(request, self.qos.cheapest_tier)
-                pending_ms = (running_until - now) if busy else 0.0
-                projected_ms = pending_ms + queued_backlog_ms(request) + cheapest_ms
+                if router is None:
+                    pending_ms = (running_until - now) if busy else 0.0
+                    projected_ms = (
+                        pending_ms + queued_backlog_ms(request) + cheapest_ms
+                    )
+                else:
+                    # Fleet projection: the soonest any lane frees, plus the
+                    # out-ranking backlog spread over the fleet.  On a
+                    # one-executor fleet both terms reduce float-exactly to
+                    # the single-server arithmetic above.
+                    pending_ms = max(0.0, router.earliest_free_ms(now) - now)
+                    projected_ms = (
+                        pending_ms
+                        + queued_backlog_ms(request) / max(1, len(router.lanes))
+                        + cheapest_ms
+                    )
                 if self.qos.should_shed(
                     projected_ms, request.slo_ms * self.policy.shed_slack
                 ):
@@ -777,73 +1237,155 @@ class RequestScheduler:
                     priority=request.priority,
                     queue_depth=len(queue),
                 )
+                if fair is not None:
+                    # WFQ re-activation: floor the tenant's tag to the
+                    # system virtual time so idle tenants can't bank credit.
+                    fair.activate(request.client_id, fair_floor)
                 heapq.heappush(
                     queue, (request.priority, request.deadline_ms, seq, request)
                 )
                 seq += 1
                 dispatch(now)
-            else:  # complete
-                busy = False
-                outcome = outcomes[request.request_id]
-                outcome.status = "completed"
-                outcome.e2e_ms = now - request.arrival_ms
-                outcome.slo_met = outcome.e2e_ms <= request.slo_ms
+            elif kind == "complete":
+                if router is None:
+                    request = payload
+                    busy = False
+                    complete_request(now, request)
+                    continue
+                request, completed_dispatch, lane = payload
+                if completed_dispatch in voided:
+                    # The executor serving this dispatch failed mid-flight;
+                    # the request was requeued then.  Drop the stale event.
+                    voided.discard(completed_dispatch)
+                    continue
+                lane.busy = False
+                lane.inflight = None
+                lane.dispatch_id = None
+                complete_request(now, request, fleet_lane=lane)
+            elif kind == "autoscale":
+                work_left = (
+                    arrivals_remaining > 0
+                    or bool(queue)
+                    or any(l.busy for l in router.active())
+                )
+                if not work_left:
+                    continue  # workload drained: let the event heap empty
+                current_tier = self.qos.current_tier
+                backlog_ms = sum(
+                    self._job_cost(r, current_tier) for _, _, _, r in queue
+                ) / max(1, len(router.lanes))
+                actions = autoscaler.evaluate(
+                    now, len(queue), backlog_ms, spec.slo_ms, router
+                )
+                for action, executor_id, reason in actions:
+                    if action == "scale_up":
+                        fleet_stats["scale_ups"] += 1
+                        new_lane = router.lanes[executor_id]
+                        log.emit(
+                            now,
+                            "scale_up",
+                            executor=new_lane.name,
+                            reason=reason,
+                            available_at_ms=round(new_lane.available_at, 3),
+                            executors=len(router.lanes),
+                            queue_depth=len(queue),
+                        )
+                        # Wake the dispatcher the instant the cold start
+                        # finishes — a completion may not coincide with it.
+                        heapq.heappush(
+                            events, (new_lane.available_at, seq, "wake", None)
+                        )
+                        seq += 1
+                    else:
+                        fleet_stats["scale_downs"] += 1
+                        log.emit(
+                            now,
+                            "scale_down",
+                            executor=f"executor-{executor_id}",
+                            reason=reason,
+                            executors=len(router.lanes),
+                            queue_depth=len(queue),
+                        )
+                    run_metrics.counter(
+                        "repro_sched_fleet_scale_total",
+                        {"direction": "up" if action == "scale_up" else "down"},
+                    ).inc()
+                run_metrics.gauge("repro_sched_fleet_executors").set(
+                    len(router.lanes)
+                )
+                dispatch(now)
+                heapq.heappush(
+                    events,
+                    (
+                        now + fleet_policy.autoscale.interval_ms,
+                        seq,
+                        "autoscale",
+                        None,
+                    ),
+                )
+                seq += 1
+            elif kind == "wake":
+                dispatch(now)
+            else:  # fail — injected executor failure
+                executor_id = payload
+                lane = router.lanes.get(executor_id)
+                if lane is None:
+                    # Already drained/failed (or never existed) — record the
+                    # no-op so the injected scenario stays visible in the log.
+                    log.emit(
+                        now,
+                        "executor_fail",
+                        executor=f"executor-{executor_id}",
+                        known=False,
+                    )
+                    continue
+                router.remove_lane(executor_id)
+                fleet_stats["failures"] += 1
+                inflight = lane.inflight if lane.busy else None
+                if inflight is not None:
+                    voided.add(lane.dispatch_id)
                 log.emit(
                     now,
-                    "complete",
-                    request=request.request_id,
-                    client=request.client_id,
-                    tier=tier_name(outcome.tier),
-                    e2e_ms=round(outcome.e2e_ms, 3),
-                    slo_met=outcome.slo_met,
+                    "executor_fail",
+                    executor=lane.name,
+                    in_flight=None if inflight is None else inflight.request_id,
+                    executors=len(router.lanes),
                 )
-                run_metrics.counter(
-                    "repro_sched_requests_total", {"status": "completed"}
-                ).inc()
-                run_metrics.counter(
-                    "repro_sched_tier_served_total", {"tier": tier_name(outcome.tier)}
-                ).inc()
-                run_metrics.histogram("repro_sched_queue_wait_ms").observe(
-                    outcome.queue_wait_ms
+                if inflight is not None:
+                    # Reuse the crash-recovery discipline: the in-flight
+                    # request goes back to the queue and is re-routed to a
+                    # surviving executor; the dead lane's warm set is lost.
+                    heapq.heappush(
+                        queue,
+                        (inflight.priority, inflight.deadline_ms, seq, inflight),
+                    )
+                    seq += 1
+                    log.emit(
+                        now,
+                        "requeue",
+                        request=inflight.request_id,
+                        client=inflight.client_id,
+                        executor=lane.name,
+                        reason="executor_failed",
+                    )
+                    fleet_stats["requeues"] += 1
+                    run_metrics.counter("repro_sched_fleet_requeue_total").inc()
+                run_metrics.counter("repro_sched_fleet_failures_total").inc()
+                run_metrics.gauge("repro_sched_fleet_executors").set(
+                    len(router.lanes)
                 )
-                run_metrics.histogram("repro_sched_service_ms").observe(
-                    outcome.service_ms
-                )
-                run_metrics.histogram("repro_sched_e2e_ms").observe(outcome.e2e_ms)
-                if tracer is not None:
-                    # Virtual-clock span chain per client lane, recorded
-                    # *from* already-decided quantities at completion time.
-                    lane = f"client-{request.client_id}"
-                    span_id = tracer.record(
-                        "request",
-                        lane=lane,
-                        clock=VIRTUAL,
-                        t0_ms=request.arrival_ms,
-                        dur_ms=outcome.e2e_ms,
-                        attrs={
-                            "request": request.request_id,
-                            "scene": request.scene,
-                            "tier": tier_name(outcome.tier),
-                            "slo_met": outcome.slo_met,
-                        },
+                if self.execute:
+                    dead = self._data_executors.get(executor_id)
+                    if dead is not None:
+                        # Abort, don't drain: unfinished handles fail and
+                        # the measured drain below skips them.
+                        dead.shutdown(wait=False)
+                    self._killed_executors.add(executor_id)
+                if not router.lanes and autoscaler is None:
+                    raise RuntimeError(
+                        "executor failure emptied the fleet and no autoscaler "
+                        "is configured to replace it"
                     )
-                    tracer.record(
-                        "queue_wait",
-                        lane=lane,
-                        clock=VIRTUAL,
-                        t0_ms=request.arrival_ms,
-                        dur_ms=outcome.queue_wait_ms,
-                        parent=span_id,
-                    )
-                    tracer.record(
-                        "service",
-                        lane=lane,
-                        clock=VIRTUAL,
-                        t0_ms=request.arrival_ms + outcome.queue_wait_ms,
-                        dur_ms=outcome.service_ms,
-                        parent=span_id,
-                    )
-                self.qos.observe(now, outcome.e2e_ms, request.slo_ms)
                 dispatch(now)
 
         # Drain the data plane: the virtual loop submitted jobs without
@@ -853,8 +1395,20 @@ class RequestScheduler:
         data_plane = None
         if pending_handles:
             residency = {"cache_hits": 0, "cache_misses": 0, "ship_bytes": 0, "loaded_bytes": 0}
-            for outcome, handle in pending_handles:
-                result = handle.result()
+            for outcome, handle, handle_executor in pending_handles:
+                if (
+                    handle_executor is not None
+                    and handle_executor in self._killed_executors
+                ):
+                    # The failure injection aborted this executor; its
+                    # unfinished handles fail by design.  Finished ones
+                    # still count (the work really rendered).
+                    try:
+                        result = handle.result()
+                    except Exception:
+                        continue
+                else:
+                    result = handle.result()
                 outcome.measured_wall_ms = result.wall_seconds * 1000.0
                 outcome.measured_frames = result.num_frames
                 residency["cache_hits"] += result.cache_hits
@@ -878,6 +1432,26 @@ class RequestScheduler:
         }
         if obs is not None:
             obs.metrics.merge(run_metrics.snapshot())
+        fleet_summary = None
+        tenant_usage = None
+        if router is not None:
+            fleet_summary = {
+                "routing": fleet_policy.routing,
+                "executors_initial": fleet_policy.num_executors,
+                "executors_final": len(router.lanes),
+                "executors_peak": router.peak_executors,
+                "autoscale": fleet_policy.autoscale is not None,
+                "fair": fleet_policy.fair,
+                "scale_ups": fleet_stats["scale_ups"],
+                "scale_downs": fleet_stats["scale_downs"],
+                "failures": fleet_stats["failures"],
+                "requeues": fleet_stats["requeues"],
+                #: Modeled cold-dispatch payload bytes across the fleet —
+                #: the quantity cache-aware routing minimises.
+                "ship_bytes": usage.total_ship_bytes,
+                "placements": dict(sorted(fleet_stats["placements"].items())),
+            }
+            tenant_usage = usage.summary()
         return ScheduleReport(
             spec=spec,
             policy=self.policy,
@@ -890,6 +1464,8 @@ class RequestScheduler:
             dispatch_counts=dispatch_counts,
             data_plane=data_plane,
             metrics=run_metrics,
+            fleet=fleet_summary,
+            tenant_usage=tenant_usage,
         )
 
     # ------------------------------------------------------------------
@@ -904,7 +1480,13 @@ class RequestScheduler:
         """
         return (tier[0], tier[1])
 
-    def _job_cost(self, request: Request, tier: Tier, shards: int = 1) -> float:
+    def _job_cost(
+        self,
+        request: Request,
+        tier: Tier,
+        shards: int = 1,
+        warm: bool | None = None,
+    ) -> float:
         """Modeled service time of ``request`` at ``tier``, warmth-aware.
 
         A tier dispatched earlier in this run is *warm* — its payload is
@@ -913,9 +1495,13 @@ class RequestScheduler:
         warmth state is a pure function of the decision sequence, keeping
         the clock replayable.  (The model tracks first-touch per
         deployment, not per worker slot — the conservative simplification
-        of the executor's per-worker residency.)
+        of the executor's per-worker residency.)  Fleet mode passes
+        ``warm`` explicitly: service is costed against the *routed
+        executor's* first-touch set, while the default (union) warmth
+        keeps serving admission and tier planning.
         """
-        warm = (request.scene, self._scene_tier(tier)) in self._touched
+        if warm is None:
+            warm = (request.scene, self._scene_tier(tier)) in self._touched
         return self.model.job_ms(
             request,
             tier,
@@ -1099,6 +1685,25 @@ class RequestScheduler:
             dtype=tier_dtype(tier),
         )
 
+    def _fleet_data_executor(self, lane_id: int) -> RenderExecutor:
+        """The real executor mirroring fleet lane ``lane_id`` (lazy).
+
+        One named :class:`RenderExecutor` per decision-plane lane, kept
+        across runs (the warm-pool point) and rebuilt fresh if a failure
+        injection killed the previous incumbent — the data-plane analogue
+        of the executor's own worker replacement.
+        """
+        data_executor = self._data_executors.get(lane_id)
+        if data_executor is None or lane_id in self._killed_executors:
+            data_executor = RenderExecutor(
+                num_workers=self.policy.num_workers,
+                name=f"executor-{lane_id}",
+                obs=self._obs,
+            )
+            self._data_executors[lane_id] = data_executor
+            self._killed_executors.discard(lane_id)
+        return data_executor
+
     def _execute(
         self,
         request: Request,
@@ -1107,6 +1712,7 @@ class RequestScheduler:
         outcome: RequestOutcome,
         measured_frame_ms: list[float],
         pending_handles: list,
+        executor_id: int | None = None,
     ) -> None:
         """Data plane: submit the dispatched job to the executor.
 
@@ -1115,9 +1721,15 @@ class RequestScheduler:
         executor simply completes the handle synchronously), and the run
         loop drains all handles after the last virtual-clock event.
         Per-frame latencies stream back through ``on_frame`` as frames
-        really complete.
+        really complete.  In fleet mode ``executor_id`` routes the job to
+        the lane's own named executor instead of the single shared one.
         """
-        handle = self.executor.submit(
+        target = (
+            self.executor
+            if executor_id is None
+            else self._fleet_data_executor(executor_id)
+        )
+        handle = target.submit(
             self.build_job(request, tier, shards),
             on_frame=lambda record: measured_frame_ms.append(record.render_ms),
             trace={
@@ -1126,7 +1738,7 @@ class RequestScheduler:
                 "tier": tier_name(tier),
             },
         )
-        pending_handles.append((outcome, handle))
+        pending_handles.append((outcome, handle, executor_id))
 
 
 def run_workload(

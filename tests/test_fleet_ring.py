@@ -1,0 +1,160 @@
+"""Consistent-hash ring: process/seed stability and bounded key movement."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.fleet.ring import ConsistentHashRing, key_string, stable_hash
+
+#: A representative residency-key population: every scene x lod x quant
+#: combination the scheduler's tier ladder can produce, plus view spread.
+KEYS = [
+    (scene, (lod, quant), view)
+    for scene in ("train", "truck", "bicycle", "garden")
+    for lod in range(4)
+    for quant in ("lossless", "half", "compact")
+    for view in range(8)
+]
+
+
+def placement(ring: ConsistentHashRing) -> dict:
+    return {key: ring.lookup(key) for key in KEYS}
+
+
+class TestStableHash:
+    def test_is_64_bit(self):
+        for key in KEYS[:32]:
+            assert 0 <= stable_hash(key_string(key)) < 2**64
+
+    def test_known_value_pins_the_function(self):
+        # sha256("train")[:8] big-endian — a change to the hash function
+        # would silently reshuffle every committed decision log.
+        assert stable_hash("train") == 0x116F54C41D0405DB
+
+    def test_distinct_inputs_distinct_hashes(self):
+        hashes = {stable_hash(key_string(key)) for key in KEYS}
+        assert len(hashes) == len(KEYS)
+
+    def test_key_string_tuples_join_on_slash(self):
+        assert key_string(("train", (0, "half"))) == "train/(0, 'half')"
+        assert key_string("train") == "train"
+
+
+class TestRingDeterminism:
+    def test_identical_rings_across_instances(self):
+        a = ConsistentHashRing(range(4))
+        b = ConsistentHashRing(range(4))
+        assert placement(a) == placement(b)
+
+    def test_insertion_order_is_irrelevant(self):
+        forward = ConsistentHashRing([0, 1, 2, 3])
+        shuffled = ConsistentHashRing([3, 1, 0, 2])
+        assert placement(forward) == placement(shuffled)
+
+    def test_identical_ring_across_processes(self):
+        """A child process with a different hash seed places keys the same."""
+        probe = (
+            "from repro.fleet.ring import ConsistentHashRing\n"
+            "ring = ConsistentHashRing(range(4))\n"
+            "keys = [(s, (l, q)) for s in ('train', 'truck')"
+            " for l in range(4) for q in ('lossless', 'half', 'compact')]\n"
+            "print(','.join(str(ring.lookup(k)) for k in keys))\n"
+        )
+        outputs = set()
+        for hashseed in ("0", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", probe],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": hashseed},
+                cwd="/root/repo",
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1
+
+    def test_lookup_always_lands_on_a_member(self):
+        ring = ConsistentHashRing(range(4))
+        assert all(ring.lookup(key) in ring.members for key in KEYS)
+
+
+class TestBoundedMovement:
+    def test_add_moves_only_keys_onto_the_new_executor(self):
+        before = ConsistentHashRing(range(4))
+        old = placement(before)
+        before.add(4)
+        new = placement(before)
+        moved = {key for key in KEYS if old[key] != new[key]}
+        assert moved, "adding an executor should claim some keys"
+        assert all(new[key] == 4 for key in moved)
+
+    def test_add_movement_is_bounded(self):
+        ring = ConsistentHashRing(range(4))
+        old = placement(ring)
+        ring.add(4)
+        new = placement(ring)
+        moved = sum(1 for key in KEYS if old[key] != new[key])
+        # Expected share is 1/5 of the key space; 64 vnodes keeps the
+        # variance small enough that double the share is a safe bound.
+        assert moved / len(KEYS) < 0.4
+
+    def test_remove_moves_only_the_lost_executors_keys(self):
+        ring = ConsistentHashRing(range(5))
+        old = placement(ring)
+        ring.remove(2)
+        new = placement(ring)
+        for key in KEYS:
+            if old[key] != 2:
+                assert new[key] == old[key]
+            else:
+                assert new[key] != 2
+
+    def test_add_then_remove_restores_placement(self):
+        ring = ConsistentHashRing(range(4))
+        old = placement(ring)
+        ring.add(9)
+        ring.remove(9)
+        assert placement(ring) == old
+
+
+class TestRingApi:
+    def test_members_sorted(self):
+        ring = ConsistentHashRing([2, 0, 1])
+        assert ring.members == (0, 1, 2)
+        assert len(ring) == 3
+        assert 1 in ring and 7 not in ring
+
+    def test_add_remove_idempotent(self):
+        ring = ConsistentHashRing([0])
+        points = len(ring._points)
+        ring.add(0)
+        assert len(ring._points) == points
+        ring.remove(5)
+        assert ring.members == (0,)
+        ring.remove(0)
+        ring.remove(0)
+        assert ring.members == ()
+
+    def test_empty_ring_lookup_raises(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(LookupError):
+            ring.lookup("train")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(vnodes=0)
+
+    def test_vnode_count_scales_with_members(self):
+        ring = ConsistentHashRing(range(3), vnodes=16)
+        assert len(ring._points) == 3 * 16
+
+    def test_reasonable_balance_across_executors(self):
+        ring = ConsistentHashRing(range(4))
+        counts = {executor: 0 for executor in ring.members}
+        for key in KEYS:
+            counts[ring.lookup(key)] += 1
+        share = len(KEYS) / len(counts)
+        assert all(0.25 * share <= count <= 2.5 * share for count in counts.values())

@@ -120,3 +120,77 @@ class TestArgumentValidation:
         args = build_parser().parse_args([])
         assert args.arrival == "poisson"
         assert args.policy == "adaptive"
+        assert args.executors is None  # fleet mode is strictly opt-in
+
+
+class TestFleetCli:
+    def test_fleet_json_adds_exactly_two_keys(self, capsys):
+        assert main(QUICK_ARGS + ["--json", "--executors", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == REPORT_KEYS | {"fleet", "tenant_usage"}
+        assert payload["fleet"]["routing"] == "affinity"
+        assert payload["fleet"]["executors_initial"] == 2
+
+    def test_fleet_run_is_seed_deterministic(self, capsys):
+        argv = QUICK_ARGS + ["--json", "--events", "--executors", "3", "--fair"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_text_report_shows_fleet_and_tenant_usage(self, capsys):
+        assert main(QUICK_ARGS + ["--executors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: routing=affinity" in out
+        assert "placements:" in out
+        assert "Tenant usage" in out
+
+    def test_failure_injection_round_trips(self, capsys):
+        argv = QUICK_ARGS + [
+            "--json",
+            "--events",
+            "--executors",
+            "2",
+            "--fail-executor",
+            "1000:0",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fleet"]["failures"] == 1
+        assert any(e["event"] == "executor_fail" for e in payload["events"])
+
+    def test_autoscale_flags_round_trip(self, capsys):
+        argv = QUICK_ARGS + [
+            "--json",
+            "--executors",
+            "1",
+            "--autoscale",
+            "--autoscale-max",
+            "3",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fleet"]["autoscale"] is True
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--executors", "0"],
+            ["--routing", "random"],  # fleet flags require --executors
+            ["--autoscale"],
+            ["--fair"],
+            ["--tenant-quota", "0.5"],
+            ["--fail-executor", "1000:0"],
+            ["--executors", "2", "--routing", "round-robin"],
+            ["--executors", "2", "--tenant-quota", "0.5"],  # needs --fair
+            ["--executors", "2", "--fair", "--tenant-quota", "1.5"],
+            ["--executors", "2", "--fair", "--tenant-quota", "0"],
+            ["--executors", "4", "--autoscale", "--autoscale-max", "2"],
+            ["--executors", "2", "--fail-executor", "oops"],
+            ["--executors", "2", "--fail-executor", "1000"],
+        ],
+    )
+    def test_bad_fleet_arguments_exit_2(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(QUICK_ARGS + argv)
+        assert excinfo.value.code == 2
